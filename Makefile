@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target.
+fuzz:
+	go test -run=Fuzz -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph/
+	go test -run=Fuzz -fuzz=FuzzReadBinary -fuzztime=15s ./internal/graph/
+	go test -run=Fuzz -fuzz=FuzzEdgeListRoundTrip -fuzztime=15s ./internal/graph/
+	go test -run=Fuzz -fuzz=FuzzDecodeWalker -fuzztime=15s ./internal/core/
+	go test -run=Fuzz -fuzz=FuzzRead -fuzztime=15s ./internal/trace/
+
+# Regenerate every paper table and figure (see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/kkbench -exp all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/node2vec
+	go run ./examples/metapath
+	go run ./examples/pprrank
+	go run ./examples/tcpcluster
+	go run ./examples/embeddings
+
+clean:
+	go clean ./...

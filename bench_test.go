@@ -1,0 +1,213 @@
+// Package knightking_test holds one testing.B benchmark per table and
+// figure of the paper's evaluation, each delegating to the corresponding
+// driver in internal/bench. Custom metrics surface the paper's key
+// numbers: edges/step (edge transition probabilities computed per walker
+// move) and speedup over the full-scan baseline.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// For full-size runs use the kkbench command instead (these benchmarks use
+// reduced graph scales so the whole suite completes in minutes).
+package knightking_test
+
+import (
+	"testing"
+
+	"knightking/internal/bench"
+)
+
+// benchOpts returns sizes small enough for the full -bench=. sweep.
+func benchOpts() bench.Options {
+	return bench.Options{Scale: 0.25, Seed: 20191027, Nodes: 4}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	o := benchOpts()
+	var lastFull, lastRej float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastFull = rows[1].FullScanPerStep
+		lastRej = rows[1].RejectionPerStep
+	}
+	b.ReportMetric(lastFull, "fullscan-edges/step")
+	b.ReportMetric(lastRej, "rejection-edges/step")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	o := benchOpts()
+	var n2vSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == "node2vec" && r.Graph == "Twitter" {
+				n2vSpeedup = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(n2vSpeedup, "n2v-twitter-speedup")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	o := benchOpts()
+	var n2vSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == "node2vec" && r.Graph == "Twitter" {
+				n2vSpeedup = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(n2vSpeedup, "n2v-twitter-speedup")
+}
+
+func BenchmarkTable5a(b *testing.B) {
+	o := benchOpts()
+	var naive, lower float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5aData(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive = rows[1].NaiveEdgesPerStep
+		lower = rows[1].LowerEdgesPerStep
+	}
+	b.ReportMetric(naive, "naive-edges/step")
+	b.ReportMetric(lower, "lowerbound-edges/step")
+}
+
+func BenchmarkTable5b(b *testing.B) {
+	o := benchOpts()
+	var naive, both float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5bData(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive = rows[0].EdgesPerStep
+		both = rows[3].EdgesPerStep
+	}
+	b.ReportMetric(naive, "naive-edges/step")
+	b.ReportMetric(both, "L+O-edges/step")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	o := benchOpts()
+	var walkIters, bfsIters float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig5Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		walkIters = float64(len(rows))
+		bfsIters = 0
+		for _, r := range rows {
+			if r.BFSActive > 0 {
+				bfsIters++
+			}
+		}
+	}
+	b.ReportMetric(bfsIters, "bfs-iterations")
+	b.ReportMetric(walkIters, "walk-iterations")
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	o := benchOpts()
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6aData(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		growth = rows[len(rows)-1].FullScanPerStep / rows[0].FullScanPerStep
+	}
+	b.ReportMetric(growth, "fullscan-growth")
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	o := benchOpts()
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6bData(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		growth = rows[len(rows)-1].FullScanPerStep / rows[0].FullScanPerStep
+	}
+	b.ReportMetric(growth, "fullscan-growth")
+}
+
+func BenchmarkFig6c(b *testing.B) {
+	o := benchOpts()
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6cData(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		growth = rows[len(rows)-1].FullScanPerStep / rows[0].FullScanPerStep
+	}
+	b.ReportMetric(growth, "fullscan-growth")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	o := benchOpts()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig7Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[0].BaselineRatio
+	}
+	b.ReportMetric(ratio, "singlenode-speedup")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	o := benchOpts()
+	var worstMixed, worstDec float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig8Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.MixedTrials > worstMixed {
+				worstMixed = r.MixedTrials
+			}
+			if r.DecoupledTrials > worstDec {
+				worstDec = r.DecoupledTrials
+			}
+		}
+	}
+	b.ReportMetric(worstMixed, "mixed-trials/step")
+	b.ReportMetric(worstDec, "decoupled-trials/step")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	o := benchOpts()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig9Data(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.ImprovePct > best {
+				best = r.ImprovePct
+			}
+		}
+	}
+	b.ReportMetric(best, "best-improvement-%")
+}

@@ -1,0 +1,87 @@
+// Command kkembed trains SkipGram-with-negative-sampling embeddings from a
+// walk corpus (as produced by kkwalk -dump) and writes one vector per line.
+//
+// Usage:
+//
+//	kkwalk -graph g.txt -alg node2vec -dump walks.txt
+//	kkembed -walks walks.txt -dim 64 -o vectors.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"knightking/internal/embed"
+	"knightking/internal/graph"
+	"knightking/internal/trace"
+)
+
+func main() {
+	var (
+		walksPath = flag.String("walks", "", "walk corpus file (required; text, one walk per line)")
+		dim       = flag.Int("dim", 64, "embedding dimensionality")
+		window    = flag.Int("window", 5, "SkipGram context window")
+		negatives = flag.Int("negatives", 5, "negative samples per pair")
+		epochs    = flag.Int("epochs", 3, "training epochs")
+		lr        = flag.Float64("lr", 0.025, "initial learning rate")
+		seed      = flag.Uint64("seed", 1, "training seed")
+		out       = flag.String("o", "-", "output file (- = stdout)")
+	)
+	flag.Parse()
+	if *walksPath == "" {
+		fatalf("-walks is required")
+	}
+
+	f, err := os.Open(*walksPath)
+	if err != nil {
+		fatalf("open walks: %v", err)
+	}
+	corpus, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatalf("parse walks: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "corpus: %d walks, %d tokens, %d vertices\n",
+		corpus.Len(), corpus.Tokens(), int(corpus.MaxVertex())+1)
+
+	model, err := embed.Train(corpus, embed.Config{
+		Dim: *dim, Window: *window, Negatives: *negatives,
+		Epochs: *epochs, LearningRate: *lr, Seed: *seed,
+	})
+	if err != nil {
+		fatalf("train: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatalf("create output: %v", err)
+		}
+		defer func() {
+			if err := of.Close(); err != nil {
+				fatalf("close output: %v", err)
+			}
+		}()
+		w = of
+	}
+	bw := bufio.NewWriter(w)
+	for v := 0; v < model.NumVertices(); v++ {
+		fmt.Fprintf(bw, "%d", v)
+		for _, x := range model.Vector(graph.VertexID(v)) {
+			fmt.Fprintf(bw, " %.6f", x)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d × %d-dim vectors\n", model.NumVertices(), model.Dim())
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "kkembed: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command kkgen generates synthetic graphs in the repository's text or
+// binary formats.
+//
+// Usage:
+//
+//	kkgen -kind uniform  -n 10000 -degree 10                 -o graph.txt
+//	kkgen -kind powerlaw -n 10000 -min 3 -cap 1000 -alpha 2  -o graph.bin -format binary
+//	kkgen -kind hotspot  -n 10000 -degree 100 -hot 2 -hotdeg 1000
+//	kkgen -kind rmat     -scale 14 -edgefactor 16
+//	kkgen -kind er       -n 10000 -edges 50000
+//
+// Optional post-processing: -weights uniform|powerlaw (with -maxweight),
+// -types N assigns N symmetric edge types for meta-path workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "uniform", "generator: uniform|powerlaw|hotspot|rmat|er|ring")
+		n          = flag.Int("n", 10000, "vertex count (uniform/powerlaw/hotspot/er/ring)")
+		degree     = flag.Int("degree", 10, "per-vertex degree (uniform/hotspot)")
+		minDeg     = flag.Int("min", 3, "minimum degree (powerlaw)")
+		capDeg     = flag.Int("cap", 1000, "degree cap (powerlaw)")
+		alpha      = flag.Float64("alpha", 2.0, "power-law exponent")
+		hot        = flag.Int("hot", 2, "hotspot count (hotspot)")
+		hotDeg     = flag.Int("hotdeg", 1000, "hotspot degree (hotspot)")
+		scale      = flag.Int("scale", 14, "log2 vertex count (rmat)")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex (rmat)")
+		edges      = flag.Int("edges", 50000, "edge count (er)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		weights    = flag.String("weights", "", "assign weights: uniform|powerlaw")
+		maxWeight  = flag.Float64("maxweight", 5, "maximum edge weight")
+		types      = flag.Int("types", 0, "assign this many edge types (0 = none)")
+		out        = flag.String("o", "-", "output file (- = stdout)")
+		format     = flag.String("format", "text", "output format: text|binary")
+		quiet      = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "uniform":
+		g = gen.UniformDegree(*n, *degree, *seed)
+	case "powerlaw":
+		g = gen.TruncatedPowerLaw(*n, *minDeg, *capDeg, *alpha, *seed)
+	case "hotspot":
+		g = gen.Hotspot(*n, *degree, *hot, *hotDeg, *seed)
+	case "rmat":
+		g = gen.RMAT(*scale, *edgeFactor, 0.57, 0.19, 0.19, *seed)
+	case "er":
+		g = gen.ErdosRenyi(*n, *edges, *seed)
+	case "ring":
+		g = gen.Ring(*n, *seed)
+	default:
+		fatalf("unknown -kind %q", *kind)
+	}
+
+	switch *weights {
+	case "":
+	case "uniform":
+		g = gen.WithUniformWeights(g, 1, float32(*maxWeight), *seed+1)
+	case "powerlaw":
+		g = gen.WithPowerLawWeights(g, float32(*maxWeight), 2.0, *seed+1)
+	default:
+		fatalf("unknown -weights %q", *weights)
+	}
+	if *types > 0 {
+		g = gen.WithTypes(g, *types, *seed+2)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "text":
+		err = graph.WriteEdgeList(w, g)
+	case "binary":
+		err = graph.WriteBinary(w, g)
+	default:
+		fatalf("unknown -format %q", *format)
+	}
+	if err != nil {
+		fatalf("write: %v", err)
+	}
+	if !*quiet {
+		st := g.Stats()
+		fmt.Fprintf(os.Stderr, "generated %s: |V|=%d |E|=%d degree mean=%.1f var=%.3g max=%d\n",
+			*kind, g.NumVertices(), g.NumEdges(), st.Mean, st.Variance, st.Max)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "kkgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,251 @@
+// Command kkwalk runs one of the four built-in random walk algorithms on a
+// graph file (text or binary edge list) over the simulated cluster, and
+// optionally dumps the walk sequences.
+//
+// Usage:
+//
+//	kkwalk -graph g.txt -alg deepwalk -length 80
+//	kkwalk -graph g.txt -alg ppr -pt 0.0125
+//	kkwalk -graph g.bin -binary -alg node2vec -p 2 -q 0.5 -nodes 8 -walkers 100000
+//	kkwalk -graph g.txt -alg metapath -schemes "0,1;2,0,1" -length 80
+//	kkwalk -graph g.txt -alg node2vec -dump walks.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"knightking/internal/alg"
+	"knightking/internal/cluster"
+	"knightking/internal/core"
+	"knightking/internal/graph"
+	"knightking/internal/transport"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "input graph file (required)")
+		binary     = flag.Bool("binary", false, "graph file is in binary CSR format")
+		undirected = flag.Bool("undirected", false, "double text edges into both directions")
+		algName    = flag.String("alg", "deepwalk", "algorithm: deepwalk|ppr|rwr|metapath|node2vec")
+		length     = flag.Int("length", 80, "walk length (deepwalk/rwr/metapath/node2vec)")
+		pt         = flag.Float64("pt", 0.0125, "termination probability (ppr)")
+		restart    = flag.Float64("restart", 0.15, "restart probability (rwr)")
+		p          = flag.Float64("p", 2, "node2vec return parameter")
+		q          = flag.Float64("q", 0.5, "node2vec in-out parameter")
+		schemesArg = flag.String("schemes", "0", "metapath schemes: comma-separated types, ';'-separated schemes")
+		biased     = flag.Bool("biased", false, "weight-biased static component")
+		nodes      = flag.Int("nodes", 4, "simulated cluster nodes")
+		workers    = flag.Int("workers", 4, "worker goroutines per node")
+		walkers    = flag.Int("walkers", 0, "walker count (0 = |V|)")
+		seed       = flag.Uint64("seed", 1, "run seed")
+		dump       = flag.String("dump", "", "dump walk sequences to this file (- = stdout)")
+		visits     = flag.String("visits", "", "dump per-vertex visit counts to this file (- = stdout)")
+		rank       = flag.Int("rank", -1, "multi-process mode: this process's rank")
+		peers      = flag.String("peers", "", "multi-process mode: comma-separated listen addresses of all ranks, in rank order")
+		noLight    = flag.Bool("nolight", false, "disable straggler-aware light mode")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatalf("-graph is required")
+	}
+
+	multiProcess := *peers != ""
+	var peerAddrs []string
+	if multiProcess {
+		peerAddrs = strings.Split(*peers, ",")
+		if *rank < 0 || *rank >= len(peerAddrs) {
+			fatalf("-rank %d out of range for %d peers", *rank, len(peerAddrs))
+		}
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatalf("open graph: %v", err)
+	}
+	var g *graph.Graph
+	var partStarts []graph.VertexID
+	switch {
+	case *binary && multiProcess:
+		// Memory-scaled deployment: read only the offset array to agree on
+		// the partition, then load just this rank's adjacency slice.
+		hdr, herr := graph.ReadBinaryDegrees(f)
+		if herr != nil {
+			fatalf("read degrees: %v", herr)
+		}
+		degrees := make([]int, hdr.NumVertices)
+		for v := range degrees {
+			degrees[v] = hdr.Degree(graph.VertexID(v))
+		}
+		part := cluster.Partition1DFromDegrees(degrees, len(peerAddrs), 1)
+		partStarts = part.Starts()
+		lo, hi := part.Range(*rank)
+		g, err = graph.ReadBinarySlice(f, lo, hi)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "rank %d loaded vertex slice [%d,%d): %d local edges\n",
+				*rank, lo, hi, g.NumEdges())
+		}
+	case *binary:
+		g, err = graph.ReadBinary(f)
+	default:
+		g, err = graph.ReadEdgeList(f, *undirected, 0)
+	}
+	f.Close()
+	if err != nil {
+		fatalf("load graph: %v", err)
+	}
+
+	var program *core.Algorithm
+	switch *algName {
+	case "deepwalk":
+		program = alg.DeepWalk(*length, *biased)
+	case "ppr":
+		program = alg.PPR(*pt, *biased, 0)
+	case "rwr":
+		program = alg.RWR(*restart, *biased, *length)
+	case "metapath":
+		program = alg.MetaPath(parseSchemes(*schemesArg), *length, *biased)
+	case "node2vec":
+		program = alg.Node2Vec(alg.Node2VecParams{
+			P: *p, Q: *q, Length: *length, Biased: *biased,
+			LowerBound: true, FoldOutlier: true,
+		})
+	default:
+		fatalf("unknown -alg %q", *algName)
+	}
+
+	lt := 0 // default threshold
+	if *noLight {
+		lt = -1
+	}
+	cfg := core.Config{
+		Graph:           g,
+		Algorithm:       program,
+		NumNodes:        *nodes,
+		Workers:         *workers,
+		NumWalkers:      *walkers,
+		Seed:            *seed,
+		RecordPaths:     *dump != "",
+		CountVisits:     *visits != "",
+		LightThreshold:  lt,
+		PartitionStarts: partStarts,
+	}
+	var res *core.Result
+	if multiProcess {
+		// Real multi-process deployment: every rank runs this binary with
+		// the same flags plus its own -rank; results here cover only this
+		// rank's share (walkers that terminated locally).
+		ep, derr := transport.DialTCPGroup(*rank, peerAddrs)
+		if derr != nil {
+			fatalf("join cluster: %v", derr)
+		}
+		defer ep.Close()
+		fmt.Fprintf(os.Stderr, "rank %d of %d joined cluster\n", *rank, len(peerAddrs))
+		res, err = core.RunNode(cfg, ep)
+	} else {
+		res, err = core.Run(cfg)
+	}
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+
+	c := res.Counters
+	fmt.Fprintf(os.Stderr,
+		"%s on |V|=%d |E|=%d: %d walkers, %d steps, %d supersteps in %.3fs (setup %.3fs)\n",
+		program.Name, g.NumVertices(), g.NumEdges(), c.Terminations, c.Steps,
+		res.Iterations, res.Duration.Seconds(), res.SetupDuration.Seconds())
+	fmt.Fprintf(os.Stderr,
+		"sampling: %.3f edges/step, %.3f trials/step, %d queries, %d messages, mean length %.1f, max %d\n",
+		c.EdgesPerStep(), c.TrialsPerStep(), c.Queries, c.Messages,
+		res.Lengths.Mean(), res.Lengths.Max())
+
+	if *visits != "" {
+		out := os.Stdout
+		if *visits != "-" {
+			vf, err := os.Create(*visits)
+			if err != nil {
+				fatalf("create visits: %v", err)
+			}
+			defer func() {
+				if err := vf.Close(); err != nil {
+					fatalf("close visits: %v", err)
+				}
+			}()
+			out = vf
+		}
+		w := bufio.NewWriter(out)
+		for v, n := range res.Visits {
+			fmt.Fprintf(w, "%d %d\n", v, n)
+		}
+		if err := w.Flush(); err != nil {
+			fatalf("write visits: %v", err)
+		}
+	}
+
+	if *dump != "" {
+		out := os.Stdout
+		if *dump != "-" {
+			df, err := os.Create(*dump)
+			if err != nil {
+				fatalf("create dump: %v", err)
+			}
+			defer func() {
+				if err := df.Close(); err != nil {
+					fatalf("close dump: %v", err)
+				}
+			}()
+			out = df
+		}
+		w := bufio.NewWriter(out)
+		for _, path := range res.Paths {
+			if path == nil {
+				continue // walker terminated on another rank
+			}
+			for i, v := range path {
+				if i > 0 {
+					fmt.Fprint(w, " ")
+				}
+				fmt.Fprint(w, v)
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			fatalf("write dump: %v", err)
+		}
+	}
+}
+
+// parseSchemes parses "0,1;2,0,1" into [][]int32{{0,1},{2,0,1}}.
+func parseSchemes(s string) [][]int32 {
+	var schemes [][]int32
+	for _, part := range strings.Split(s, ";") {
+		var scheme []int32
+		for _, tok := range strings.Split(part, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(tok, 10, 32)
+			if err != nil {
+				fatalf("bad scheme element %q: %v", tok, err)
+			}
+			scheme = append(scheme, int32(v))
+		}
+		if len(scheme) > 0 {
+			schemes = append(schemes, scheme)
+		}
+	}
+	if len(schemes) == 0 {
+		fatalf("no schemes parsed from %q", s)
+	}
+	return schemes
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "kkwalk: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseSchemes(t *testing.T) {
+	got := parseSchemes("0,1;2,0,1")
+	if len(got) != 2 {
+		t.Fatalf("%d schemes", len(got))
+	}
+	if len(got[0]) != 2 || got[0][0] != 0 || got[0][1] != 1 {
+		t.Fatalf("scheme 0 = %v", got[0])
+	}
+	if len(got[1]) != 3 || got[1][0] != 2 {
+		t.Fatalf("scheme 1 = %v", got[1])
+	}
+}
+
+func TestParseSchemesWhitespaceAndEmpties(t *testing.T) {
+	got := parseSchemes(" 3 , 4 ;;5,")
+	if len(got) != 2 {
+		t.Fatalf("%d schemes: %v", len(got), got)
+	}
+	if got[0][0] != 3 || got[0][1] != 4 || got[1][0] != 5 {
+		t.Fatalf("schemes = %v", got)
+	}
+}
+
+func TestParseSchemesSingle(t *testing.T) {
+	got := parseSchemes("7")
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != 7 {
+		t.Fatalf("schemes = %v", got)
+	}
+}

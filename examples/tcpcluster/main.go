@@ -1,0 +1,95 @@
+// TCP cluster: the same engine, over a real wire.
+//
+// Every other example uses the in-process transport; this one brings up a
+// 3-rank TCP mesh on loopback and runs second-order node2vec across it —
+// walker migrations, state queries, and responses all travel through
+// length-prefixed TCP frames. The walks produced are byte-identical to an
+// in-process run with the same seed, which the example verifies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/transport"
+)
+
+const ranks = 3
+
+func main() {
+	g := gen.TruncatedPowerLaw(3000, 4, 500, 2.0, 31)
+	program := func() *core.Algorithm {
+		return alg.Node2Vec(alg.Node2VecParams{
+			P: 2, Q: 0.5, Length: 30, LowerBound: true, FoldOutlier: true,
+		})
+	}
+
+	// Reference run over the in-process transport.
+	ref, err := core.Run(core.Config{
+		Graph: g, Algorithm: program(), NumNodes: ranks, Seed: 8, RecordPaths: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reserve three loopback ports, then bring up the full TCP mesh.
+	addrs := make([]string, ranks)
+	listeners := make([]net.Listener, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	fmt.Printf("cluster addresses: %v\n", addrs)
+
+	eps := make([]transport.Endpoint, ranks)
+	var wg sync.WaitGroup
+	for i := 0; i < ranks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := transport.DialTCPGroup(i, addrs)
+			if err != nil {
+				log.Fatalf("rank %d: %v", i, err)
+			}
+			eps[i] = ep
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: program(), Endpoints: eps, Seed: 8, RecordPaths: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TCP run: %d walkers, %d steps, %d supersteps in %v\n",
+		res.Counters.Terminations, res.Counters.Steps, res.Iterations,
+		res.Duration.Round(1e6))
+	fmt.Printf("wire traffic: %d messages, %.1f MB payload\n",
+		res.Counters.Messages, float64(res.Counters.BytesSent)/1e6)
+
+	for id := range ref.Paths {
+		if fmt.Sprint(ref.Paths[id]) != fmt.Sprint(res.Paths[id]) {
+			log.Fatalf("walker %d diverged between transports!", id)
+		}
+	}
+	fmt.Println("verified: all walks byte-identical to the in-process run — the engine is transport-agnostic")
+}

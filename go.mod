@@ -1,0 +1,3 @@
+module knightking
+
+go 1.22

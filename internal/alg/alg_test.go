@@ -1,0 +1,376 @@
+package alg
+
+import (
+	"math"
+	"testing"
+
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+func TestDeepWalkLengths(t *testing.T) {
+	g := gen.UniformDegree(50, 6, 1)
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: DeepWalk(20, false), Seed: 1, RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range res.Paths {
+		if len(p) != 21 {
+			t.Fatalf("walker %d path length %d, want 21", id, len(p))
+		}
+	}
+	if res.Counters.EdgeProbEvals != 0 {
+		t.Fatal("DeepWalk is static; no Pd evaluations expected")
+	}
+}
+
+func TestDeepWalkBiasedMatchesWeights(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(0, 2, 3)
+	g := b.Build()
+	const walkers = 40000
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: DeepWalk(1, true), NumWalkers: walkers,
+		StartVertex: func(int64) graph.VertexID { return 0 },
+		Seed:        2, RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := 0
+	for _, p := range res.Paths {
+		if p[1] == 2 {
+			heavy++
+		}
+	}
+	got := float64(heavy) / walkers
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("weighted edge frequency %v, want 0.75", got)
+	}
+}
+
+func TestPPRExpectedLength(t *testing.T) {
+	g := gen.UniformDegree(100, 6, 3)
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: PPR(1.0/80, false, 0), NumWalkers: 5000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometric with pt = 1/80: E[steps] = 79.
+	mean := res.Lengths.Mean()
+	if math.Abs(mean-79) > 4 {
+		t.Fatalf("mean PPR walk length %v, want ~79", mean)
+	}
+	// The paper observes walks over 1000 steps with pt=0.0125.
+	if res.Lengths.Max() < 200 {
+		t.Fatalf("max length %d; expected a long tail", res.Lengths.Max())
+	}
+}
+
+func TestPPRMaxStepsCap(t *testing.T) {
+	g := gen.UniformDegree(50, 6, 5)
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: PPR(0.01, false, 30), NumWalkers: 2000, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lengths.Max() > 30 {
+		t.Fatalf("cap violated: max length %d", res.Lengths.Max())
+	}
+}
+
+func TestPPRPanicsOnBadPt(t *testing.T) {
+	for _, pt := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PPR(%v) did not panic", pt)
+				}
+			}()
+			PPR(pt, false, 0)
+		}()
+	}
+}
+
+func TestMetaPathFollowsScheme(t *testing.T) {
+	const numTypes = 3
+	g := gen.WithTypes(gen.UniformDegree(150, 10, 7), numTypes, 8)
+	schemes := [][]int32{{0, 1}, {2}}
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: MetaPath(schemes, 6, false), Seed: 9, RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for id, p := range res.Paths {
+		// Infer the walker's scheme from its first edge's type.
+		if len(p) < 2 {
+			continue // dead-ended immediately; allowed
+		}
+		firstType := typeOf(t, g, p[0], p[1])
+		var scheme []int32
+		for _, s := range schemes {
+			if s[0] == firstType {
+				scheme = s
+				break
+			}
+		}
+		if scheme == nil {
+			t.Fatalf("walker %d first edge type %d matches no scheme", id, firstType)
+		}
+		for k := 1; k < len(p); k++ {
+			want := scheme[(k-1)%len(scheme)]
+			if got := typeOf(t, g, p[k-1], p[k]); got != want {
+				t.Fatalf("walker %d step %d type %d, want %d", id, k, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d steps checked; walks died too early", checked)
+	}
+}
+
+func TestMetaPathDeadEndsTerminate(t *testing.T) {
+	// Scheme demanding a type that exists nowhere: every walker must
+	// terminate with zero steps via the full-scan fallback.
+	g := gen.WithTypes(gen.UniformDegree(40, 6, 11), 2, 12)
+	res, err := core.Run(core.Config{
+		Graph: g, Algorithm: MetaPath([][]int32{{7}}, 5, false), Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Steps != 0 {
+		t.Fatalf("impossible scheme took %d steps", res.Counters.Steps)
+	}
+	if res.Counters.Terminations != int64(g.NumVertices()) {
+		t.Fatalf("Terminations = %d", res.Counters.Terminations)
+	}
+}
+
+// brute computes the exact node2vec next-hop distribution at cur given
+// prev, as unnormalized Ps·Pd weights per out-edge of cur.
+func brute(g *graph.Graph, prev, cur graph.VertexID, p, q float64, biased bool) []float64 {
+	deg := g.Degree(cur)
+	weights := make([]float64, deg)
+	for i := 0; i < deg; i++ {
+		e := g.EdgeAt(cur, i)
+		ps := 1.0
+		if biased {
+			ps = float64(e.Weight)
+		}
+		var pd float64
+		switch {
+		case e.Dst == prev:
+			pd = 1 / p
+		case g.HasEdge(prev, e.Dst):
+			pd = 1
+		default:
+			pd = 1 / q
+		}
+		weights[i] = ps * pd
+	}
+	return weights
+}
+
+// checkNode2VecExactness runs many 2-step walks from a fixed start and
+// compares the second hop's conditional distribution with the exact
+// node2vec probabilities, for one parameter/optimization combination.
+func checkNode2VecExactness(t *testing.T, g *graph.Graph, params Node2VecParams, walkers int, seed uint64) {
+	t.Helper()
+	params.Length = 2
+	res, err := core.Run(core.Config{
+		Graph:       g,
+		Algorithm:   Node2Vec(params),
+		NumWalkers:  walkers,
+		NumNodes:    2,
+		StartVertex: func(int64) graph.VertexID { return 0 },
+		Seed:        seed,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// counts[v1][v2] over observed (first hop, second hop).
+	counts := make(map[graph.VertexID]map[graph.VertexID]float64)
+	totals := make(map[graph.VertexID]float64)
+	for _, path := range res.Paths {
+		if len(path) != 3 {
+			t.Fatalf("path %v", path)
+		}
+		v1, v2 := path[1], path[2]
+		if counts[v1] == nil {
+			counts[v1] = make(map[graph.VertexID]float64)
+		}
+		counts[v1][v2]++
+		totals[v1]++
+	}
+	for v1, obs := range counts {
+		if totals[v1] < 3000 {
+			continue // too few samples for a tight comparison
+		}
+		weights := brute(g, 0, v1, params.P, params.Q, params.Biased)
+		sum := 0.0
+		for _, w := range weights {
+			sum += w
+		}
+		adj := g.Neighbors(v1)
+		for i, w := range weights {
+			want := w / sum
+			got := obs[adj[i]] / totals[v1]
+			if math.Abs(got-want) > 0.035 {
+				t.Fatalf("params %+v: P(%d|%d, prev=0) = %v, want %v",
+					params, adj[i], v1, got, want)
+			}
+		}
+	}
+}
+
+func TestNode2VecExactness(t *testing.T) {
+	// Small dense-ish graph: many triangles so all three Pd cases occur.
+	g := gen.ErdosRenyi(12, 40, 101)
+	if g.Degree(0) == 0 {
+		t.Fatal("fixture start vertex isolated")
+	}
+	cases := []Node2VecParams{
+		{P: 2, Q: 0.5},                                       // naive
+		{P: 2, Q: 0.5, LowerBound: true},                     // + lower bound
+		{P: 0.5, Q: 2},                                       // outlier-shaped, naive
+		{P: 0.5, Q: 2, FoldOutlier: true},                    // + folding
+		{P: 0.5, Q: 2, LowerBound: true, FoldOutlier: true},  // both
+		{P: 1, Q: 1, LowerBound: true},                       // degenerate uniform
+		{P: 4, Q: 0.25, LowerBound: true, FoldOutlier: true}, // extreme
+	}
+	for i, params := range cases {
+		checkNode2VecExactness(t, g, params, 120000, uint64(200+i))
+	}
+}
+
+func TestNode2VecBiasedExactness(t *testing.T) {
+	g := gen.WithUniformWeights(gen.ErdosRenyi(12, 40, 101), 1, 5, 55)
+	params := Node2VecParams{P: 0.5, Q: 2, Biased: true, LowerBound: true, FoldOutlier: true}
+	checkNode2VecExactness(t, g, params, 120000, 300)
+}
+
+func TestNode2VecOptimizationsReduceWork(t *testing.T) {
+	g := gen.TruncatedPowerLaw(2000, 4, 200, 2.0, 401)
+	run := func(params Node2VecParams) (edgesPerStep float64) {
+		params.P, params.Q, params.Length = 0.5, 2, 10
+		res, err := core.Run(core.Config{
+			Graph: g, Algorithm: Node2Vec(params), NumWalkers: 2000, Seed: 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.EdgesPerStep()
+	}
+	naive := run(Node2VecParams{})
+	lb := run(Node2VecParams{LowerBound: true})
+	folded := run(Node2VecParams{FoldOutlier: true})
+	both := run(Node2VecParams{LowerBound: true, FoldOutlier: true})
+	// Reproduces the ordering of the paper's Table 5b.
+	if !(lb < naive) {
+		t.Fatalf("lower bound did not reduce edges/step: %v vs %v", lb, naive)
+	}
+	if !(folded < naive) {
+		t.Fatalf("outlier folding did not reduce edges/step: %v vs %v", folded, naive)
+	}
+	if !(both < lb && both < naive) {
+		t.Fatalf("combined %v not best (naive %v, lb %v, folded %v)", both, naive, lb, folded)
+	}
+}
+
+func TestNode2VecUniformParamsZeroEvalsWithLowerBound(t *testing.T) {
+	// p = q = 1: every Pd = 1 = L = Q, so with the lower bound no dart
+	// ever needs a Pd evaluation after step 0 — the paper's Table 5a
+	// "0.00 edges/step" cell.
+	g := gen.UniformDegree(500, 8, 501)
+	res, err := core.Run(core.Config{
+		Graph:      g,
+		Algorithm:  Node2Vec(Node2VecParams{P: 1, Q: 1, Length: 10, LowerBound: true}),
+		NumWalkers: 500,
+		Seed:       19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.EdgeProbEvals != 0 {
+		t.Fatalf("edges/step should be 0, got %d evals", res.Counters.EdgeProbEvals)
+	}
+	if res.Counters.Queries != 0 {
+		t.Fatalf("no queries expected, got %d", res.Counters.Queries)
+	}
+}
+
+func TestNode2VecMixedMatchesDecoupled(t *testing.T) {
+	// The mixed formulation must produce the same walk distribution as the
+	// decoupled one, just less efficiently.
+	g := gen.WithUniformWeights(gen.ErdosRenyi(12, 40, 101), 1, 5, 55)
+	params := Node2VecParams{P: 2, Q: 0.5}
+
+	run := func(a *core.Algorithm, seed uint64) map[graph.VertexID]float64 {
+		res, err := core.Run(core.Config{
+			Graph: g, Algorithm: a, NumWalkers: 60000,
+			StartVertex: func(int64) graph.VertexID { return 0 },
+			Seed:        seed, RecordPaths: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := make(map[graph.VertexID]float64)
+		for _, p := range res.Paths {
+			freq[p[2]]++
+		}
+		for k := range freq {
+			freq[k] /= float64(len(res.Paths))
+		}
+		return freq
+	}
+	decoupled := Node2Vec(Node2VecParams{P: params.P, Q: params.Q, Length: 2, Biased: true})
+	mixed := Node2VecMixed(Node2VecParams{P: params.P, Q: params.Q, Length: 2})
+	fa := run(decoupled, 21)
+	fb := run(mixed, 22)
+	for v, a := range fa {
+		if math.Abs(a-fb[v]) > 0.02 {
+			t.Fatalf("mixed and decoupled disagree at %d: %v vs %v", v, a, fb[v])
+		}
+	}
+}
+
+func TestNode2VecMoreTrialsWhenMixed(t *testing.T) {
+	g := gen.WithPowerLawWeights(gen.UniformDegree(1000, 10, 601), 50, 2.0, 61)
+	run := func(a *core.Algorithm) float64 {
+		res, err := core.Run(core.Config{
+			Graph: g, Algorithm: a, NumWalkers: 1000, Seed: 23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.TrialsPerStep()
+	}
+	dec := run(Node2Vec(Node2VecParams{P: 2, Q: 0.5, Length: 8, Biased: true}))
+	mix := run(Node2VecMixed(Node2VecParams{P: 2, Q: 0.5, Length: 8}))
+	if mix <= dec*1.5 {
+		t.Fatalf("mixed trials/step %v not clearly worse than decoupled %v", mix, dec)
+	}
+}
+
+func typeOf(t *testing.T, g *graph.Graph, u, v graph.VertexID) int32 {
+	t.Helper()
+	adj := g.Neighbors(u)
+	for i, nb := range adj {
+		if nb == v {
+			return g.Types(u)[i]
+		}
+	}
+	t.Fatalf("edge %d->%d not found", u, v)
+	return -1
+}

@@ -1,0 +1,52 @@
+package alg_test
+
+import (
+	"fmt"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+)
+
+// ExampleNode2Vec runs the paper's running example end to end: biased
+// second-order node2vec with both §4.2 optimizations, on a heavy-tailed
+// graph, reporting the machine-independent sampling cost.
+func ExampleNode2Vec() {
+	g := gen.WithUniformWeights(gen.TruncatedPowerLaw(2000, 4, 400, 2.0, 1), 1, 5, 2)
+	res, err := core.Run(core.Config{
+		Graph: g,
+		Algorithm: alg.Node2Vec(alg.Node2VecParams{
+			P: 2, Q: 0.5, Length: 20, Biased: true,
+			LowerBound: true, FoldOutlier: true,
+		}),
+		NumNodes: 4,
+		Seed:     3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("every walker finished: %v\n", res.Counters.Terminations == int64(g.NumVertices()))
+	fmt.Printf("edges examined per step < 1.5: %v\n", res.Counters.EdgesPerStep() < 1.5)
+	// Output:
+	// every walker finished: true
+	// edges examined per step < 1.5: true
+}
+
+// ExampleMetaPath constrains walks to a typed pattern on a heterogeneous
+// graph.
+func ExampleMetaPath() {
+	g := gen.WithTypes(gen.UniformDegree(500, 10, 5), 3, 6)
+	res, err := core.Run(core.Config{
+		Graph:     g,
+		Algorithm: alg.MetaPath([][]int32{{0, 1, 2}}, 9, false),
+		Seed:      7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("walkers: %d\n", res.Counters.Terminations)
+	fmt.Printf("dynamic sampling used: %v\n", res.Counters.EdgeProbEvals > 0)
+	// Output:
+	// walkers: 500
+	// dynamic sampling used: true
+}

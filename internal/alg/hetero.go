@@ -1,0 +1,108 @@
+package alg
+
+import (
+	"fmt"
+	"math"
+
+	"knightking/internal/core"
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+)
+
+// HeteroNode2VecParams configures the combined meta-path + node2vec walk.
+type HeteroNode2VecParams struct {
+	// Schemes are the cyclic edge-type patterns (as in MetaPath).
+	Schemes [][]int32
+	// P, Q are the node2vec return and in-out parameters.
+	P, Q float64
+	// Length is the fixed walk length.
+	Length int
+	// Biased compounds edge weights as Ps.
+	Biased bool
+}
+
+// HeteroNode2Vec composes the two dynamic components the paper treats
+// separately: a meta-path type constraint (first-order, evaluated locally)
+// multiplied by the node2vec second-order distance bias (evaluated through
+// remote state queries). This is the metapath2vec-with-bias pattern used
+// on heterogeneous information networks, and it demonstrates that the
+// unified Pd definition composes: the product of two valid dynamic
+// components is again a valid dynamic component, with envelope
+// Q = max over the product's range.
+//
+// Pd(e) = [type(e) = scheme_k] · n2v(d_tx), so ineligible-type edges have
+// Pd = 0 and eligible edges follow node2vec. The type constraint is
+// screened locally *before* posting a state query, so an ineligible
+// candidate never costs a message round; dead ends (no eligible-type edge
+// at all) are detected by the engine through ZeroMassCheck and terminate
+// the walk.
+func HeteroNode2Vec(params HeteroNode2VecParams) *core.Algorithm {
+	if len(params.Schemes) == 0 {
+		panic("alg: HeteroNode2Vec requires schemes")
+	}
+	for i, s := range params.Schemes {
+		if len(s) == 0 {
+			panic(fmt.Sprintf("alg: HeteroNode2Vec scheme %d empty", i))
+		}
+	}
+	if params.P <= 0 || params.Q <= 0 {
+		panic(fmt.Sprintf("alg: HeteroNode2Vec p=%v q=%v", params.P, params.Q))
+	}
+	if params.Length <= 0 {
+		panic(fmt.Sprintf("alg: HeteroNode2Vec length %d", params.Length))
+	}
+	invP := 1 / params.P
+	invQ := 1 / params.Q
+	envelope := math.Max(math.Max(1, invP), invQ)
+	schemes := params.Schemes
+
+	wantType := func(w *core.Walker) int32 {
+		s := schemes[w.Tag]
+		return s[int(w.Step)%len(s)]
+	}
+
+	return &core.Algorithm{
+		Name:     "hetero-node2vec",
+		Biased:   params.Biased,
+		MaxSteps: params.Length,
+		InitWalker: func(w *core.Walker, r *rng.Rand) {
+			w.Tag = int32(r.Uint64n(uint64(len(schemes))))
+		},
+		EdgeDynamicComp: func(w *core.Walker, e graph.Edge, result uint64, hasResult bool) float64 {
+			if e.Type != wantType(w) {
+				return 0
+			}
+			if w.Step == 0 {
+				return envelope
+			}
+			if e.Dst == w.Prev {
+				return invP
+			}
+			if !hasResult {
+				panic("alg: hetero-node2vec Pd needs a query result for non-return eligible edges")
+			}
+			if result != 0 {
+				return 1
+			}
+			return invQ
+		},
+		UpperBound: func(*graph.Graph, graph.VertexID) float64 { return envelope },
+		ZeroMassCheck: func(g *graph.Graph, v graph.VertexID, w *core.Walker) bool {
+			want := wantType(w)
+			for _, typ := range g.Types(v) {
+				if typ == want {
+					return false
+				}
+			}
+			return true
+		},
+		PostQuery: func(w *core.Walker, e graph.Edge) (graph.VertexID, uint64, bool) {
+			// Screen the type constraint locally first: ineligible
+			// candidates never cost a message round.
+			if e.Type != wantType(w) || w.Step == 0 || e.Dst == w.Prev {
+				return 0, 0, false
+			}
+			return w.Prev, uint64(e.Dst), true
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package alg
+
+import (
+	"math"
+	"testing"
+
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+func TestHeteroNode2VecPanics(t *testing.T) {
+	ok := HeteroNode2VecParams{Schemes: [][]int32{{0}}, P: 1, Q: 1, Length: 5}
+	cases := []func(p HeteroNode2VecParams) HeteroNode2VecParams{
+		func(p HeteroNode2VecParams) HeteroNode2VecParams { p.Schemes = nil; return p },
+		func(p HeteroNode2VecParams) HeteroNode2VecParams { p.Schemes = [][]int32{{}}; return p },
+		func(p HeteroNode2VecParams) HeteroNode2VecParams { p.P = 0; return p },
+		func(p HeteroNode2VecParams) HeteroNode2VecParams { p.Q = -1; return p },
+		func(p HeteroNode2VecParams) HeteroNode2VecParams { p.Length = 0; return p },
+	}
+	for i, mutate := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			HeteroNode2Vec(mutate(ok))
+		}()
+	}
+}
+
+func TestHeteroNode2VecRespectsSchemes(t *testing.T) {
+	g := gen.WithTypes(gen.UniformDegree(200, 12, 71), 2, 73)
+	res, err := core.Run(core.Config{
+		Graph: g,
+		Algorithm: HeteroNode2Vec(HeteroNode2VecParams{
+			Schemes: [][]int32{{0, 1}}, P: 2, Q: 0.5, Length: 6,
+		}),
+		NumNodes:    3,
+		Seed:        75,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for id, p := range res.Paths {
+		for k := 1; k < len(p); k++ {
+			want := int32((k - 1) % 2)
+			if got := typeOf(t, g, p[k-1], p[k]); got != want {
+				t.Fatalf("walker %d step %d type %d, want %d", id, k, got, want)
+			}
+			steps++
+		}
+	}
+	if steps < 200 {
+		t.Fatalf("only %d steps", steps)
+	}
+	if res.Counters.Queries == 0 {
+		t.Fatal("no second-order queries issued")
+	}
+}
+
+func TestHeteroNode2VecDeadEndTerminates(t *testing.T) {
+	// Scheme demanding type 9, which no edge has: walkers must finish with
+	// zero steps through ZeroMassCheck, not spin until MaxIterations.
+	g := gen.WithTypes(gen.UniformDegree(60, 8, 77), 2, 79)
+	res, err := core.Run(core.Config{
+		Graph: g,
+		Algorithm: HeteroNode2Vec(HeteroNode2VecParams{
+			Schemes: [][]int32{{9}}, P: 2, Q: 0.5, Length: 6,
+		}),
+		Seed:          81,
+		MaxIterations: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Steps != 0 {
+		t.Fatalf("impossible scheme took %d steps", res.Counters.Steps)
+	}
+	if res.Counters.Terminations != int64(g.NumVertices()) {
+		t.Fatalf("Terminations = %d", res.Counters.Terminations)
+	}
+}
+
+func TestHeteroNode2VecExactness(t *testing.T) {
+	// Empirical conditional distribution of the second hop must match the
+	// brute-force product of the type constraint and node2vec weights.
+	g := gen.WithTypes(gen.ErdosRenyi(14, 60, 83), 2, 85)
+	const p, q = 2.0, 0.5
+	scheme := []int32{0, 1}
+	res, err := core.Run(core.Config{
+		Graph: g,
+		Algorithm: HeteroNode2Vec(HeteroNode2VecParams{
+			Schemes: [][]int32{scheme}, P: p, Q: q, Length: 2,
+		}),
+		NumWalkers:  150000,
+		NumNodes:    2,
+		StartVertex: func(int64) graph.VertexID { return 0 },
+		Seed:        87,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[graph.VertexID]map[graph.VertexID]float64)
+	totals := make(map[graph.VertexID]float64)
+	for _, path := range res.Paths {
+		if len(path) != 3 {
+			continue // dead-ended after one hop; fine
+		}
+		v1, v2 := path[1], path[2]
+		if counts[v1] == nil {
+			counts[v1] = make(map[graph.VertexID]float64)
+		}
+		counts[v1][v2]++
+		totals[v1]++
+	}
+	checked := 0
+	for v1, obs := range counts {
+		if totals[v1] < 5000 {
+			continue
+		}
+		adj := g.Neighbors(v1)
+		types := g.Types(v1)
+		weights := make([]float64, len(adj))
+		sum := 0.0
+		for i, x := range adj {
+			if types[i] != scheme[1] { // step 1 demands scheme[1 mod 2]
+				continue
+			}
+			var pd float64
+			switch {
+			case x == 0: // prev
+				pd = 1 / p
+			case g.HasEdge(0, x):
+				pd = 1
+			default:
+				pd = 1 / q
+			}
+			weights[i] = pd
+			sum += pd
+		}
+		if sum == 0 {
+			continue
+		}
+		for i, w := range weights {
+			want := w / sum
+			got := obs[adj[i]] / totals[v1]
+			if math.Abs(got-want) > 0.03 {
+				t.Fatalf("P(%d|%d) = %v, want %v", adj[i], v1, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d transitions checked; fixture too sparse", checked)
+	}
+}
+
+func TestHeteroNode2VecDeterministicAcrossNodes(t *testing.T) {
+	g := gen.WithTypes(gen.UniformDegree(120, 10, 89), 3, 91)
+	var ref [][]graph.VertexID
+	for _, nodes := range []int{1, 4} {
+		res, err := core.Run(core.Config{
+			Graph: g,
+			Algorithm: HeteroNode2Vec(HeteroNode2VecParams{
+				Schemes: [][]int32{{0, 1, 2}, {2, 1}}, P: 0.5, Q: 2, Length: 8,
+			}),
+			NumNodes:    nodes,
+			Seed:        93,
+			RecordPaths: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Paths
+			continue
+		}
+		for id := range ref {
+			if len(ref[id]) != len(res.Paths[id]) {
+				t.Fatalf("walker %d path lengths differ", id)
+			}
+			for i := range ref[id] {
+				if ref[id][i] != res.Paths[id][i] {
+					t.Fatalf("walker %d diverges", id)
+				}
+			}
+		}
+	}
+}

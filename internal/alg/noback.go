@@ -1,0 +1,41 @@
+package alg
+
+import (
+	"fmt"
+
+	"knightking/internal/core"
+	"knightking/internal/graph"
+)
+
+// NoBacktrack returns an order-K non-backtracking walk: the walker refuses
+// to revisit any of its last `window` vertices (a windowed self-avoiding
+// walk). Non-backtracking walks mix faster than simple walks and underlie
+// several spectral methods; here they demonstrate the framework's
+// generality beyond second order — the paper's taxonomy explicitly allows
+// walker state carrying "the previous n vertices visited".
+//
+// The walk is dynamic order-(window+1) but needs no remote queries: the
+// history rides along with the walker, so Pd is evaluated locally. When
+// every neighbor is in the window (a dead end), the engine's full-scan
+// fallback detects zero acceptance mass and terminates the walk.
+func NoBacktrack(window, length int, biased bool) *core.Algorithm {
+	if window < 1 || window > 255 {
+		panic(fmt.Sprintf("alg: NoBacktrack window %d outside [1,255]", window))
+	}
+	if length <= 0 {
+		panic(fmt.Sprintf("alg: NoBacktrack length %d", length))
+	}
+	return &core.Algorithm{
+		Name:        "noback",
+		Biased:      biased,
+		MaxSteps:    length,
+		HistorySize: window,
+		EdgeDynamicComp: func(w *core.Walker, e graph.Edge, _ uint64, _ bool) float64 {
+			if e.Dst == w.Cur || w.InHistory(e.Dst) {
+				return 0
+			}
+			return 1
+		},
+		UpperBound: func(*graph.Graph, graph.VertexID) float64 { return 1 },
+	}
+}

@@ -1,0 +1,126 @@
+package alg
+
+import (
+	"testing"
+
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+func TestNoBacktrackPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NoBacktrack(0, 10, false) },
+		func() { NoBacktrack(300, 10, false) },
+		func() { NoBacktrack(2, 0, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NoBacktrack accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNoBacktrackAvoidsWindow(t *testing.T) {
+	g := gen.UniformDegree(200, 8, 61)
+	const window = 3
+	res, err := core.Run(core.Config{
+		Graph:       g,
+		Algorithm:   NoBacktrack(window, 15, false),
+		NumNodes:    2,
+		Seed:        63,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for id, p := range res.Paths {
+		for i := 1; i < len(p); i++ {
+			lo := i - window - 1
+			if lo < 0 {
+				lo = 0
+			}
+			for j := lo; j < i; j++ {
+				if p[j] == p[i] {
+					t.Fatalf("walker %d revisited %d within window: %v", id, p[i], p)
+				}
+			}
+			steps++
+		}
+	}
+	if steps < 1000 {
+		t.Fatalf("only %d steps; walks died too early", steps)
+	}
+}
+
+func TestNoBacktrackDeadEndTerminates(t *testing.T) {
+	// On a path graph, a window-1 non-backtracking walker starting at one
+	// end marches straight to the other end and stops there (the only
+	// neighbor is the one just visited).
+	const n = 6
+	b := graph.NewBuilder(n).SetUndirected(true)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g := b.Build()
+	res, err := core.Run(core.Config{
+		Graph:       g,
+		Algorithm:   NoBacktrack(1, 50, false),
+		NumWalkers:  1,
+		StartVertex: func(int64) graph.VertexID { return 0 },
+		Seed:        65,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Paths[0]
+	want := []graph.VertexID{0, 1, 2, 3, 4, 5}
+	if len(p) != len(want) {
+		t.Fatalf("path %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path %v, want %v", p, want)
+		}
+	}
+}
+
+func TestNoBacktrackDeterministicAcrossNodes(t *testing.T) {
+	g := gen.UniformDegree(120, 8, 67)
+	var ref [][]graph.VertexID
+	for _, nodes := range []int{1, 4} {
+		res, err := core.Run(core.Config{
+			Graph:       g,
+			Algorithm:   NoBacktrack(4, 12, false),
+			NumNodes:    nodes,
+			Seed:        69,
+			RecordPaths: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Paths
+			continue
+		}
+		if len(ref) != len(res.Paths) {
+			t.Fatal("path counts differ")
+		}
+		for id := range ref {
+			if len(ref[id]) != len(res.Paths[id]) {
+				t.Fatalf("walker %d path lengths differ (history not migrating?)", id)
+			}
+			for i := range ref[id] {
+				if ref[id][i] != res.Paths[id][i] {
+					t.Fatalf("walker %d diverges at %d", id, i)
+				}
+			}
+		}
+	}
+}

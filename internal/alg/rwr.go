@@ -1,0 +1,32 @@
+package alg
+
+import (
+	"fmt"
+
+	"knightking/internal/core"
+)
+
+// RWR returns Random Walk with Restart (Tong, Faloutsos & Pan, cited by
+// the paper as a foundational random-walk application): before each step
+// the walker teleports back to its origin vertex with probability c, and
+// otherwise takes a (optionally weight-biased) step. The stationary visit
+// distribution of a long RWR run is the origin's personalized PageRank
+// vector; combine with core.Config.CountVisits to read it out directly.
+//
+// maxSteps bounds total walk length (teleports included) and is required:
+// unlike PPR's termination formulation, a restarting walker never stops on
+// its own.
+func RWR(c float64, biased bool, maxSteps int) *core.Algorithm {
+	if c <= 0 || c >= 1 {
+		panic(fmt.Sprintf("alg: RWR restart probability %v outside (0,1)", c))
+	}
+	if maxSteps <= 0 {
+		panic(fmt.Sprintf("alg: RWR maxSteps %d", maxSteps))
+	}
+	return &core.Algorithm{
+		Name:        "rwr",
+		Biased:      biased,
+		RestartProb: c,
+		MaxSteps:    maxSteps,
+	}
+}

@@ -1,0 +1,88 @@
+package alg
+
+import (
+	"testing"
+
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+func TestRWRPanicsOnBadParams(t *testing.T) {
+	for _, c := range []float64{0, 1, -0.2, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RWR(%v) did not panic", c)
+				}
+			}()
+			RWR(c, false, 10)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RWR with maxSteps 0 did not panic")
+			}
+		}()
+		RWR(0.15, false, 0)
+	}()
+}
+
+func TestRWRVisitsConcentrateNearOrigin(t *testing.T) {
+	// On a long ring, RWR visit mass must decay with distance from the
+	// origin — the defining property of personalized PageRank.
+	g := gen.Ring(200, 0)
+	const origin graph.VertexID = 100
+	res, err := core.Run(core.Config{
+		Graph:       g,
+		Algorithm:   RWR(0.2, false, 400),
+		NumWalkers:  2000,
+		StartVertex: func(int64) graph.VertexID { return origin },
+		Seed:        1,
+		CountVisits: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := res.Visits[99] + res.Visits[100] + res.Visits[101]
+	far := res.Visits[0] + res.Visits[1] + res.Visits[199]
+	if near < 10*far {
+		t.Fatalf("RWR mass not concentrated: near=%d far=%d", near, far)
+	}
+	if res.Counters.Restarts == 0 {
+		t.Fatal("no restarts")
+	}
+}
+
+func TestRWRWalkLengthIsExact(t *testing.T) {
+	g := gen.UniformDegree(60, 6, 3)
+	res, err := core.Run(core.Config{
+		Graph:      g,
+		Algorithm:  RWR(0.15, false, 50),
+		NumWalkers: 300,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lengths.Mean() != 50 {
+		t.Fatalf("mean length %v, want exactly 50 (teleports count)", res.Lengths.Mean())
+	}
+}
+
+func TestRWRBiased(t *testing.T) {
+	g := gen.WithUniformWeights(gen.UniformDegree(60, 6, 5), 1, 5, 7)
+	res, err := core.Run(core.Config{
+		Graph:      g,
+		Algorithm:  RWR(0.15, true, 30),
+		NumWalkers: 200,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Steps == 0 {
+		t.Fatal("no steps taken")
+	}
+}

@@ -1,0 +1,342 @@
+// Package baseline implements the comparison system of the paper's
+// evaluation: a "traditional graph engine" random walk in the style of the
+// authors' Gemini adaptation (§7.1). Its distinguishing properties, which
+// this package reproduces faithfully as a cost model:
+//
+//   - Dynamic walks recompute the transition probability of *every*
+//     out-edge of the walker's current vertex at every step (the full scan
+//     whose O(|Ev|) cost rejection sampling eliminates), then sample with
+//     inverse transform sampling.
+//
+//   - Static walks use precomputed per-vertex ITS arrays or alias tables.
+//
+//   - Optional two-phase "mirror" sampling models Gemini's vertex
+//     replication: a vertex's edges are split across MirrorNodes chunks;
+//     sampling first picks a chunk by its weight sum, then an edge inside
+//     the chunk — two binary searches instead of one.
+//
+// The package shares the walker/RNG discipline of the main engine, so
+// baseline and KnightKing runs are sample-for-sample comparable.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+	"knightking/internal/sampling"
+	"knightking/internal/stats"
+)
+
+// DynamicFunc computes the dynamic component Pd for one edge with direct
+// graph access. prev is valid when step > 0.
+type DynamicFunc func(g *graph.Graph, prev, cur graph.VertexID, step, tag int32, e graph.Edge) float64
+
+// Config describes one baseline run.
+type Config struct {
+	// Graph is the input graph.
+	Graph *graph.Graph
+	// NumWalkers defaults to |V|.
+	NumWalkers int
+	// Seed drives all randomness (same stream discipline as core).
+	Seed uint64
+	// MaxSteps ends each walk after this many moves (0 = unlimited).
+	MaxSteps int
+	// TerminationProb ends a walk before each move with this probability.
+	TerminationProb float64
+	// StartVertex defaults to id mod |V|.
+	StartVertex func(id int64) graph.VertexID
+	// RecordPaths keeps per-walker vertex sequences.
+	RecordPaths bool
+	// Biased selects Ps = edge weight.
+	Biased bool
+	// Dynamic, when set, makes the walk dynamic: every step performs a
+	// full scan computing Pd for each out-edge (counted in EdgeProbEvals).
+	Dynamic DynamicFunc
+	// InitTag assigns algorithm state (e.g. a meta-path scheme index).
+	InitTag func(id int64, r *rng.Rand) int32
+	// MirrorNodes > 1 enables two-phase mirror sampling for static walks.
+	MirrorNodes int
+	// Workers runs walkers on this many goroutines (default 1; walker
+	// results are independent, so parallelism never changes them).
+	Workers int
+	// Counters receives engine counters (optional).
+	Counters *stats.Counters
+}
+
+// Result summarizes a baseline run.
+type Result struct {
+	Counters      stats.Snapshot
+	Lengths       *stats.Histogram
+	Paths         [][]graph.VertexID
+	Duration      time.Duration
+	SetupDuration time.Duration
+}
+
+// Run executes the baseline walk.
+func Run(cfg Config) (*Result, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, fmt.Errorf("baseline: Config requires Graph")
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("baseline: empty graph")
+	}
+	if cfg.MaxSteps == 0 && cfg.TerminationProb == 0 {
+		return nil, fmt.Errorf("baseline: walk never terminates")
+	}
+	if cfg.MaxSteps < 0 || cfg.TerminationProb < 0 || cfg.TerminationProb > 1 {
+		return nil, fmt.Errorf("baseline: invalid termination settings")
+	}
+	if cfg.Biased && !g.Weighted() {
+		return nil, fmt.Errorf("baseline: biased walk on unweighted graph")
+	}
+	if cfg.NumWalkers <= 0 {
+		cfg.NumWalkers = g.NumVertices()
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+
+	histSize := cfg.MaxSteps
+	if histSize <= 0 {
+		histSize = 4096
+	}
+	res := &Result{Lengths: stats.NewHistogram(histSize + 1)}
+	if cfg.RecordPaths {
+		res.Paths = make([][]graph.VertexID, cfg.NumWalkers)
+	}
+
+	// Static pre-computation (only meaningful for static walks; dynamic
+	// walks cannot precompute, which is the whole point).
+	setupStart := time.Now()
+	var static *staticTables
+	if cfg.Dynamic == nil {
+		static = buildStaticTables(g, cfg.Biased, cfg.MirrorNodes)
+	}
+	res.SetupDuration = time.Since(setupStart)
+
+	walkStart := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	numV := int64(g.NumVertices())
+	var nextID atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := make([]float64, 0, 256)
+			for {
+				id := nextID.Add(1) - 1
+				if id >= int64(cfg.NumWalkers) {
+					return
+				}
+				var start graph.VertexID
+				if cfg.StartVertex != nil {
+					start = cfg.StartVertex(id)
+				} else {
+					start = graph.VertexID(id % numV)
+				}
+				r := rng.NewStream(cfg.Seed, uint64(id))
+				var tag int32
+				if cfg.InitTag != nil {
+					tag = cfg.InitTag(id, r)
+				}
+				path, steps := walkOne(g, &cfg, static, counters, r, start, tag, &scratch)
+				res.Lengths.Observe(steps)
+				if cfg.RecordPaths {
+					res.Paths[id] = path
+				}
+				counters.Terminations.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	res.Duration = time.Since(walkStart)
+	res.Counters = counters.Snapshot()
+	return res, nil
+}
+
+// walkOne runs a single walker to termination, returning its path (when
+// recording; always including the start vertex) and the number of steps.
+func walkOne(g *graph.Graph, cfg *Config, static *staticTables, counters *stats.Counters,
+	r *rng.Rand, start graph.VertexID, tag int32, scratch *[]float64) ([]graph.VertexID, int64) {
+
+	var path []graph.VertexID
+	if cfg.RecordPaths {
+		path = []graph.VertexID{start}
+	}
+	cur := start
+	prev := graph.VertexID(0)
+	for step := int32(0); ; step++ {
+		if cfg.MaxSteps > 0 && int(step) >= cfg.MaxSteps {
+			return path, int64(step)
+		}
+		if cfg.TerminationProb > 0 && r.Bernoulli(cfg.TerminationProb) {
+			return path, int64(step)
+		}
+		deg := g.Degree(cur)
+		if deg == 0 {
+			return path, int64(step)
+		}
+
+		var idx int
+		if cfg.Dynamic == nil {
+			idx = static.sample(cur, r, counters)
+		} else {
+			// THE full scan: recompute every out-edge's probability.
+			weights := (*scratch)[:0]
+			total := 0.0
+			for i := 0; i < deg; i++ {
+				e := g.EdgeAt(cur, i)
+				pd := cfg.Dynamic(g, prev, cur, step, tag, e)
+				counters.EdgeProbEvals.Add(1)
+				ps := 1.0
+				if cfg.Biased {
+					ps = float64(e.Weight)
+				}
+				weights = append(weights, ps*pd)
+				total += ps * pd
+			}
+			*scratch = weights
+			if total <= 0 {
+				return path, int64(step)
+			}
+			its, err := sampling.NewITSFromFloat64(weights)
+			if err != nil {
+				panic(fmt.Sprintf("baseline: vertex %d: %v", cur, err))
+			}
+			counters.Trials.Add(1)
+			idx = its.Sample(r)
+		}
+
+		dst := g.Neighbors(cur)[idx]
+		prev, cur = cur, dst
+		counters.Steps.Add(1)
+		if cfg.RecordPaths {
+			path = append(path, dst)
+		}
+	}
+}
+
+// staticTables holds precomputed per-vertex samplers. With mirrors > 1 the
+// adjacency is split into contiguous chunks and sampling is two-phase.
+type staticTables struct {
+	samplers []sampling.StaticSampler // single-phase; nil entries for deg 0
+	chunks   []*mirrorTable           // two-phase; nil when mirrors <= 1
+	mirrors  int
+}
+
+type mirrorTable struct {
+	chunkPick  *sampling.ITS            // over chunk weight sums
+	perChunk   []sampling.StaticSampler // within-chunk samplers
+	chunkStart []int                    // edge offset of each chunk
+}
+
+func buildStaticTables(g *graph.Graph, biased bool, mirrors int) *staticTables {
+	n := g.NumVertices()
+	t := &staticTables{mirrors: mirrors}
+	if mirrors > 1 {
+		t.chunks = make([]*mirrorTable, n)
+	} else {
+		t.samplers = make([]sampling.StaticSampler, n)
+	}
+	for v := 0; v < n; v++ {
+		deg := g.Degree(graph.VertexID(v))
+		if deg == 0 {
+			continue
+		}
+		weights := make([]float32, deg)
+		for i := range weights {
+			if biased {
+				weights[i] = g.EdgeWeight(graph.VertexID(v), i)
+			} else {
+				weights[i] = 1
+			}
+		}
+		if mirrors <= 1 {
+			its, err := sampling.NewITS(weights)
+			if err != nil {
+				panic(fmt.Sprintf("baseline: vertex %d: %v", v, err))
+			}
+			t.samplers[v] = its
+			continue
+		}
+		m := mirrors
+		if m > deg {
+			m = deg
+		}
+		mt := &mirrorTable{
+			perChunk:   make([]sampling.StaticSampler, m),
+			chunkStart: make([]int, m+1),
+		}
+		sums := make([]float64, m)
+		for c := 0; c < m; c++ {
+			lo := c * deg / m
+			hi := (c + 1) * deg / m
+			mt.chunkStart[c] = lo
+			its, err := sampling.NewITS(weights[lo:hi])
+			if err != nil {
+				panic(fmt.Sprintf("baseline: vertex %d chunk %d: %v", v, c, err))
+			}
+			mt.perChunk[c] = its
+			sums[c] = its.Total()
+		}
+		mt.chunkStart[m] = deg
+		pick, err := sampling.NewITSFromFloat64(sums)
+		if err != nil {
+			panic(fmt.Sprintf("baseline: vertex %d chunk sums: %v", v, err))
+		}
+		mt.chunkPick = pick
+		t.chunks[v] = mt
+	}
+	return t
+}
+
+// sample draws an edge index at v using the precomputed tables.
+func (t *staticTables) sample(v graph.VertexID, r *rng.Rand, counters *stats.Counters) int {
+	counters.Trials.Add(1)
+	if t.mirrors <= 1 {
+		return t.samplers[v].Sample(r)
+	}
+	mt := t.chunks[v]
+	c := mt.chunkPick.Sample(r)
+	return mt.chunkStart[c] + mt.perChunk[c].Sample(r)
+}
+
+// Node2VecDynamic returns the DynamicFunc for node2vec, evaluating d_tx by
+// direct adjacency lookup — exactly what an exact implementation on a
+// traditional engine must do for every out-edge, every step.
+func Node2VecDynamic(p, q float64) DynamicFunc {
+	invP, invQ := 1/p, 1/q
+	return func(g *graph.Graph, prev, cur graph.VertexID, step, tag int32, e graph.Edge) float64 {
+		if step == 0 {
+			return 1
+		}
+		if e.Dst == prev {
+			return invP
+		}
+		if g.HasEdge(prev, e.Dst) {
+			return 1
+		}
+		return invQ
+	}
+}
+
+// MetaPathDynamic returns the DynamicFunc for meta-path walks.
+func MetaPathDynamic(schemes [][]int32) DynamicFunc {
+	return func(g *graph.Graph, prev, cur graph.VertexID, step, tag int32, e graph.Edge) float64 {
+		s := schemes[tag]
+		if e.Type == s[int(step)%len(s)] {
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,298 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+)
+
+func TestRunValidation(t *testing.T) {
+	g := gen.Ring(5, 0)
+	cases := []Config{
+		{},                                    // no graph
+		{Graph: g},                            // never terminates
+		{Graph: g, MaxSteps: 1, Biased: true}, // biased, unweighted
+		{Graph: g, MaxSteps: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStaticWalkCountsNoEvals(t *testing.T) {
+	g := gen.UniformDegree(100, 6, 1)
+	res, err := Run(Config{Graph: g, MaxSteps: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.EdgeProbEvals != 0 {
+		t.Fatalf("static walk evaluated %d probabilities", res.Counters.EdgeProbEvals)
+	}
+	if res.Counters.Steps != int64(g.NumVertices())*10 {
+		t.Fatalf("Steps = %d", res.Counters.Steps)
+	}
+}
+
+func TestStaticBiasedDistribution(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(0, 2, 4)
+	g := b.Build()
+	const walkers = 50000
+	res, err := Run(Config{
+		Graph: g, MaxSteps: 1, Seed: 2, Biased: true, NumWalkers: walkers,
+		StartVertex: func(int64) graph.VertexID { return 0 },
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := 0
+	for _, p := range res.Paths {
+		if len(p) == 2 && p[1] == 2 {
+			heavy++
+		}
+	}
+	got := float64(heavy) / walkers
+	if math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("heavy edge frequency %v, want 0.8", got)
+	}
+}
+
+func TestTwoPhaseMirrorSamplingMatchesSinglePhase(t *testing.T) {
+	g := gen.WithUniformWeights(gen.UniformDegree(50, 20, 3), 1, 5, 4)
+	freq := func(mirrors int, seed uint64) map[graph.VertexID]float64 {
+		res, err := Run(Config{
+			Graph: g, MaxSteps: 1, Seed: seed, Biased: true,
+			NumWalkers:  80000,
+			StartVertex: func(int64) graph.VertexID { return 0 },
+			RecordPaths: true, MirrorNodes: mirrors,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[graph.VertexID]float64)
+		for _, p := range res.Paths {
+			out[p[1]]++
+		}
+		for k := range out {
+			out[k] /= float64(len(res.Paths))
+		}
+		return out
+	}
+	single := freq(1, 5)
+	two := freq(8, 6)
+	for v, a := range single {
+		if math.Abs(a-two[v]) > 0.012 {
+			t.Fatalf("mirror sampling biased at %d: %v vs %v", v, a, two[v])
+		}
+	}
+}
+
+func TestDynamicFullScanCountsDegreePerStep(t *testing.T) {
+	const deg = 12
+	g := gen.UniformDegree(200, deg, 7)
+	res, err := Run(Config{
+		Graph: g, MaxSteps: 5, Seed: 3,
+		Dynamic: func(g *graph.Graph, prev, cur graph.VertexID, step, tag int32, e graph.Edge) float64 {
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStep := res.Counters.EdgesPerStep()
+	// Full scan computes exactly deg probabilities per step; configuration-
+	// model dedup can shave a little off the nominal degree.
+	if perStep < deg-1 || perStep > deg+0.5 {
+		t.Fatalf("edges/step = %v, want ~%d", perStep, deg)
+	}
+}
+
+func TestNode2VecDynamicValues(t *testing.T) {
+	// Triangle plus a pendant: from cur=1 with prev=0, edge back to 0 is
+	// the return edge, edge to 2 closes the triangle (d=1), edge to 3 is
+	// d=2.
+	b := graph.NewBuilder(4).SetUndirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	g := b.Build()
+	f := Node2VecDynamic(2, 0.5)
+	cases := []struct {
+		dst  graph.VertexID
+		want float64
+	}{
+		{0, 0.5}, // return: 1/p
+		{2, 1},   // triangle: d=1
+		{3, 2},   // 1/q
+	}
+	for _, c := range cases {
+		got := f(g, 0, 1, 1, 0, graph.Edge{Dst: c.dst, Weight: 1})
+		if got != c.want {
+			t.Fatalf("Pd(dst=%d) = %v, want %v", c.dst, got, c.want)
+		}
+	}
+	if got := f(g, 0, 1, 0, 0, graph.Edge{Dst: 3}); got != 1 {
+		t.Fatalf("step-0 Pd = %v, want 1", got)
+	}
+}
+
+func TestMetaPathDynamicDeadEnd(t *testing.T) {
+	g := gen.WithTypes(gen.UniformDegree(40, 6, 9), 2, 10)
+	res, err := Run(Config{
+		Graph: g, MaxSteps: 5, Seed: 4,
+		Dynamic: MetaPathDynamic([][]int32{{9}}), // impossible type
+		InitTag: func(int64, *rng.Rand) int32 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Steps != 0 {
+		t.Fatalf("impossible scheme took %d steps", res.Counters.Steps)
+	}
+}
+
+func TestMetaPathDynamicFollowsScheme(t *testing.T) {
+	g := gen.WithTypes(gen.UniformDegree(150, 10, 9), 3, 10)
+	schemes := [][]int32{{0, 1}, {2}}
+	res, err := Run(Config{
+		Graph: g, MaxSteps: 6, Seed: 8,
+		Dynamic:     MetaPathDynamic(schemes),
+		InitTag:     func(id int64, r *rng.Rand) int32 { return int32(r.Uint64n(uint64(len(schemes)))) },
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range res.Paths {
+		if len(p) < 2 {
+			continue
+		}
+		firstType := edgeType(t, g, p[0], p[1])
+		var scheme []int32
+		for _, s := range schemes {
+			if s[0] == firstType {
+				scheme = s
+			}
+		}
+		if scheme == nil {
+			t.Fatalf("first edge type %d matches no scheme", firstType)
+		}
+		for k := 1; k < len(p); k++ {
+			if got := edgeType(t, g, p[k-1], p[k]); got != scheme[(k-1)%len(scheme)] {
+				t.Fatalf("step %d type %d violates scheme %v", k, got, scheme)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d steps checked", checked)
+	}
+}
+
+func edgeType(t *testing.T, g *graph.Graph, u, v graph.VertexID) int32 {
+	t.Helper()
+	for i, nb := range g.Neighbors(u) {
+		if nb == v {
+			return g.Types(u)[i]
+		}
+	}
+	t.Fatalf("edge %d->%d missing", u, v)
+	return -1
+}
+
+func TestDynamicWalkTerminatesOnZeroMass(t *testing.T) {
+	g := gen.UniformDegree(30, 6, 11)
+	res, err := Run(Config{
+		Graph: g, MaxSteps: 5, Seed: 5,
+		Dynamic: func(*graph.Graph, graph.VertexID, graph.VertexID, int32, int32, graph.Edge) float64 {
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Steps != 0 {
+		t.Fatalf("zero-mass walk took %d steps", res.Counters.Steps)
+	}
+}
+
+func TestTerminationProbMean(t *testing.T) {
+	g := gen.UniformDegree(80, 6, 13)
+	res, err := Run(Config{Graph: g, TerminationProb: 0.2, NumWalkers: 20000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Lengths.Mean(); math.Abs(m-4) > 0.3 {
+		t.Fatalf("mean length %v, want ~4", m)
+	}
+}
+
+func TestBFSOnRing(t *testing.T) {
+	g := gen.Ring(10, 0)
+	res, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 10 {
+		t.Fatalf("visited %d of 10", res.Visited)
+	}
+	// Ring BFS: frontier sizes 1,2,2,2,2,1.
+	want := []int64{1, 2, 2, 2, 2, 1}
+	if len(res.FrontierSizes) != len(want) {
+		t.Fatalf("frontiers %v", res.FrontierSizes)
+	}
+	for i, w := range want {
+		if res.FrontierSizes[i] != w {
+			t.Fatalf("frontiers %v, want %v", res.FrontierSizes, want)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5).SetUndirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	res, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 2 {
+		t.Fatalf("visited %d, want 2", res.Visited)
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := gen.Ring(5, 0)
+	if _, err := BFS(g, 99); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestBFSShortTailVsWalkLongTail(t *testing.T) {
+	// The Figure 5 claim in miniature: BFS finishes in a handful of
+	// iterations while a termination-probability walk has a much longer
+	// active tail.
+	g := gen.TruncatedPowerLaw(3000, 3, 100, 2.0, 15)
+	bfs, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := Run(Config{Graph: g, TerminationProb: 1.0 / 20, MaxSteps: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(bfs.Iterations) >= walk.Lengths.Max() {
+		t.Fatalf("BFS iterations %d not shorter than walk tail %d",
+			bfs.Iterations, walk.Lengths.Max())
+	}
+}

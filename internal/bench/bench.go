@@ -1,0 +1,158 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7). Each experiment is a named driver that builds its
+// workload (scaled-down synthetic stand-ins for the paper's graphs — see
+// DESIGN.md for the substitution rationale), runs the KnightKing engine
+// and/or the traditional full-scan baseline, and prints rows matching the
+// paper's format. Tables carry both wall-clock time and the paper's
+// machine-independent "edges/step" metric (edge transition probabilities
+// computed per walker move), which is the number that must transfer across
+// hardware.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Out receives the formatted experiment output.
+	Out io.Writer
+	// Seed drives all generators and walks.
+	Seed uint64
+	// Scale multiplies the default graph sizes (1.0 = defaults tuned for a
+	// laptop-class single machine; the paper used an 8-node cluster).
+	Scale float64
+	// Quick shrinks workloads drastically for smoke tests.
+	Quick bool
+	// Nodes is the simulated cluster size (default 4, paper used 8).
+	Nodes int
+}
+
+func (o Options) defaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 20191027 // SOSP'19 opening day
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// scaled returns n scaled by the options, with a floor.
+func (o Options) scaled(n int) int {
+	if o.Quick {
+		n /= 16
+	}
+	v := int(float64(n) * o.Scale)
+	if v < 64 {
+		v = 64
+	}
+	return v
+}
+
+// Experiment is one table/figure driver.
+type Experiment struct {
+	// ID is the registry key (e.g. "table3", "fig6b").
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments returns all registered experiments in a stable order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment.
+func RunAll(o Options) error {
+	o = o.defaults()
+	for _, e := range Experiments() {
+		if _, err := fmt.Fprintf(o.Out, "\n=== %s: %s ===\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		if err := e.Run(o); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// GraphSpec names one of the evaluation's input graphs and builds its
+// synthetic stand-in. The stand-ins are matched on the property that
+// drives each experiment: mean degree and degree skew (paper Table 2).
+type GraphSpec struct {
+	// Name is the paper graph this stands in for.
+	Name string
+	// Build constructs the unweighted undirected stand-in.
+	Build func(o Options, seed uint64) *graph.Graph
+}
+
+// Standins returns the four real-graph stand-ins in the paper's order:
+// LiveJournal (small, mild skew), Friendster (large, mild skew), Twitter
+// (heavy skew), UK-Union (largest, heavy skew). Sizes are scaled down from
+// millions/billions to laptop scale; skew ordering is preserved.
+func Standins() []GraphSpec {
+	return []GraphSpec{
+		{Name: "LiveJ", Build: func(o Options, seed uint64) *graph.Graph {
+			return gen.TruncatedPowerLaw(o.scaled(8000), 2, 400, 2.2, seed)
+		}},
+		{Name: "FriendS", Build: func(o Options, seed uint64) *graph.Graph {
+			return gen.TruncatedPowerLaw(o.scaled(16000), 6, 500, 2.1, seed+1)
+		}},
+		{Name: "Twitter", Build: func(o Options, seed uint64) *graph.Graph {
+			return gen.TruncatedPowerLaw(o.scaled(12000), 6, 6000, 1.85, seed+2)
+		}},
+		{Name: "UK-Union", Build: func(o Options, seed uint64) *graph.Graph {
+			return gen.TruncatedPowerLaw(o.scaled(20000), 6, 8000, 1.85, seed+3)
+		}},
+	}
+}
+
+// twitterLike builds the heavy-skew graph used by the optimization and
+// sensitivity studies (the paper uses the Twitter graph there).
+func twitterLike(o Options, seed uint64) *graph.Graph {
+	return gen.TruncatedPowerLaw(o.scaled(12000), 6, 6000, 1.85, seed)
+}
+
+// WalkLength is the paper's standard walk length.
+const WalkLength = 80
+
+// walkLength shrinks the walk for quick runs.
+func (o Options) walkLength() int {
+	if o.Quick {
+		return 10
+	}
+	return WalkLength
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"time"
+
+	"knightking/internal/alg"
+	"knightking/internal/baseline"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+)
+
+// metrics is the common measurement record for one system × workload cell.
+type metrics struct {
+	Seconds       float64
+	EdgesPerStep  float64
+	TrialsPerStep float64
+	Steps         int64
+	Iterations    int
+	// Extrapolated marks baseline cells measured on walker samples and
+	// extended by linear regression, the paper's own methodology for its
+	// slowest cells (§7.1: 1%–6% of walkers, R² ≥ 0.9998).
+	Extrapolated bool
+	// R2 is the regression's coefficient of determination (1 when not
+	// extrapolated).
+	R2 float64
+}
+
+// fitLinear fits y = intercept + slope·x by least squares and returns the
+// coefficients with R².
+func fitLinear(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("bench: fitLinear needs >= 2 matched points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("bench: degenerate regression (identical x values)")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	var ssRes float64
+	for i := range xs {
+		d := ys[i] - (intercept + slope*xs[i])
+		ssRes += d * d
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}
+
+// runKK executes one KnightKing walk and returns its metrics.
+func runKK(g *graph.Graph, a *core.Algorithm, walkers, nodes int, seed uint64, light bool) (metrics, error) {
+	lt := -1
+	if light {
+		lt = core.DefaultLightThreshold
+	}
+	start := time.Now()
+	res, err := core.Run(core.Config{
+		Graph:          g,
+		Algorithm:      a,
+		NumNodes:       nodes,
+		NumWalkers:     walkers,
+		Seed:           seed,
+		LightThreshold: lt,
+	})
+	if err != nil {
+		return metrics{}, err
+	}
+	return metrics{
+		Seconds:       time.Since(start).Seconds(),
+		EdgesPerStep:  res.Counters.EdgesPerStep(),
+		TrialsPerStep: res.Counters.TrialsPerStep(),
+		Steps:         res.Counters.Steps,
+		Iterations:    res.Iterations,
+	}, nil
+}
+
+// runBaseline executes one full-scan baseline walk. When fraction < 1 the
+// walk is measured at three walker sample sizes and the full-population
+// time estimated by linear regression, the paper's §7.1 methodology
+// (computation scales linearly with the walker count; the paper's
+// regressions report R² >= 0.9998).
+func runBaseline(g *graph.Graph, cfg baseline.Config, fraction float64) (metrics, error) {
+	full := g.NumVertices()
+	if fraction <= 0 || fraction >= 1 {
+		cfg.NumWalkers = full
+		start := time.Now()
+		res, err := baseline.Run(cfg)
+		if err != nil {
+			return metrics{}, err
+		}
+		return metrics{
+			Seconds:       time.Since(start).Seconds(),
+			EdgesPerStep:  res.Counters.EdgesPerStep(),
+			TrialsPerStep: res.Counters.TrialsPerStep(),
+			Steps:         res.Counters.Steps,
+			R2:            1,
+		}, nil
+	}
+
+	base := int(float64(full) * fraction)
+	if base < 64 {
+		base = 64
+	}
+	samples := []int{base / 2, (3 * base) / 4, base}
+	xs := make([]float64, 0, len(samples))
+	ys := make([]float64, 0, len(samples))
+	var last metrics
+	for i, walkers := range samples {
+		if walkers < 32 {
+			walkers = 32
+		}
+		c := cfg
+		c.NumWalkers = walkers
+		c.Seed = cfg.Seed + uint64(i) // independent walker samples
+		start := time.Now()
+		res, err := baseline.Run(c)
+		if err != nil {
+			return metrics{}, err
+		}
+		xs = append(xs, float64(walkers))
+		ys = append(ys, time.Since(start).Seconds())
+		last = metrics{
+			EdgesPerStep:  res.Counters.EdgesPerStep(),
+			TrialsPerStep: res.Counters.TrialsPerStep(),
+			Steps:         res.Counters.Steps,
+		}
+	}
+	if ys[len(ys)-1] < 0.05 {
+		// Samples this fast are dominated by timer noise; extrapolation is
+		// both unnecessary (the full run is cheap) and unreliable. Measure
+		// the full population directly instead.
+		return runBaseline(g, cfg, 1)
+	}
+	slope, intercept, r2 := fitLinear(xs, ys)
+	last.Seconds = intercept + slope*float64(full)
+	if last.Seconds < ys[len(ys)-1] {
+		// Regression noise must not estimate below the largest observed
+		// sample's time.
+		last.Seconds = ys[len(ys)-1] * float64(full) / xs[len(xs)-1]
+	}
+	last.Extrapolated = true
+	last.R2 = r2
+	return last, nil
+}
+
+// workload describes one of the evaluation's four algorithms as both a
+// KnightKing program and a baseline configuration.
+type workload struct {
+	Name string
+	// NeedsTypes marks meta-path (the graph must carry edge types).
+	NeedsTypes bool
+	// KK builds the engine algorithm.
+	KK func(length int, biased bool) *core.Algorithm
+	// Baseline builds the full-scan configuration (Graph/NumWalkers are
+	// filled by the caller).
+	Baseline func(length int, biased bool) baseline.Config
+	// BaselineFraction samples walkers for slow full-scan cells (1 = all).
+	BaselineFraction float64
+}
+
+// metaPathSchemes builds the paper's meta-path setup: numTypes edge types
+// and numSchemes cyclic schemes of the given length, deterministically
+// from the seed.
+func metaPathSchemes(numTypes, numSchemes, schemeLen int, seed uint64) [][]int32 {
+	r := rng.New(seed)
+	schemes := make([][]int32, numSchemes)
+	for i := range schemes {
+		s := make([]int32, schemeLen)
+		for j := range s {
+			s[j] = int32(r.Intn(numTypes))
+		}
+		schemes[i] = s
+	}
+	return schemes
+}
+
+// evaluationWorkloads returns the paper's four algorithms (§7.1): DeepWalk
+// and PPR (static), Meta-path (dynamic first-order), node2vec (dynamic
+// second-order). baseFraction tunes sampling for the dynamic baselines.
+func evaluationWorkloads(o Options, seed uint64) []workload {
+	schemes := metaPathSchemes(5, 10, 5, seed+77)
+	dynFraction := 0.05
+	if o.Quick {
+		dynFraction = 0.25
+	}
+	return []workload{
+		{
+			Name: "DeepWalk",
+			KK:   alg.DeepWalk,
+			Baseline: func(length int, biased bool) baseline.Config {
+				return baseline.Config{MaxSteps: length, Biased: biased, MirrorNodes: o.Nodes}
+			},
+			BaselineFraction: 1,
+		},
+		{
+			Name: "PPR",
+			KK: func(length int, biased bool) *core.Algorithm {
+				return alg.PPR(1.0/float64(length), biased, 0)
+			},
+			Baseline: func(length int, biased bool) baseline.Config {
+				return baseline.Config{TerminationProb: 1.0 / float64(length), Biased: biased, MirrorNodes: o.Nodes}
+			},
+			BaselineFraction: 1,
+		},
+		{
+			Name:       "Meta-path",
+			NeedsTypes: true,
+			KK: func(length int, biased bool) *core.Algorithm {
+				return alg.MetaPath(schemes, length, biased)
+			},
+			Baseline: func(length int, biased bool) baseline.Config {
+				return baseline.Config{
+					MaxSteps: length,
+					Biased:   biased,
+					Dynamic:  baseline.MetaPathDynamic(schemes),
+					InitTag: func(id int64, r *rng.Rand) int32 {
+						return int32(r.Uint64n(uint64(len(schemes))))
+					},
+				}
+			},
+			BaselineFraction: dynFraction,
+		},
+		{
+			Name: "node2vec",
+			KK: func(length int, biased bool) *core.Algorithm {
+				return alg.Node2Vec(alg.Node2VecParams{
+					P: 2, Q: 0.5, Length: length, Biased: biased,
+					LowerBound: true, FoldOutlier: true,
+				})
+			},
+			Baseline: func(length int, biased bool) baseline.Config {
+				return baseline.Config{
+					MaxSteps: length,
+					Biased:   biased,
+					Dynamic:  baseline.Node2VecDynamic(2, 0.5),
+				}
+			},
+			BaselineFraction: dynFraction,
+		},
+	}
+}
+
+// prepareGraph adds edge types for meta-path workloads (5 types, as in
+// the paper's setup).
+func prepareGraph(g *graph.Graph, w workload, seed uint64) *graph.Graph {
+	if w.NeedsTypes && !g.Typed() {
+		return gen.WithTypes(g, 5, seed)
+	}
+	return g
+}

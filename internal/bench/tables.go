@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+
+	"knightking/internal/alg"
+	"knightking/internal/baseline"
+	"knightking/internal/gen"
+	"knightking/internal/stats"
+)
+
+func init() {
+	register("table1", "node2vec sampling overhead: full scan vs rejection (paper Table 1)", Table1)
+	register("table3", "overall performance, unweighted graphs (paper Table 3)", Table3)
+	register("table4", "overall performance, weighted graphs (paper Table 4)", Table4)
+	register("table5a", "lower-bound optimization across node2vec hyper-parameters (paper Table 5a)", Table5a)
+	register("table5b", "outlier + lower-bound optimizations at p=0.5, q=2 (paper Table 5b)", Table5b)
+}
+
+// Table1Row is one graph's sampling-overhead comparison.
+type Table1Row struct {
+	Graph            string
+	DegreeMean       float64
+	DegreeVariance   float64
+	FullScanPerStep  float64
+	RejectionPerStep float64
+}
+
+// Table1Data runs the Table 1 comparison and returns the rows.
+func Table1Data(o Options) ([]Table1Row, error) {
+	o = o.defaults()
+	specs := Standins()
+	var rows []Table1Row
+	// The paper's Table 1 compares Friendster (mild skew) vs Twitter
+	// (heavy skew) under node2vec with p=2, q=0.5.
+	for _, spec := range []GraphSpec{specs[1], specs[2]} {
+		g := spec.Build(o, o.Seed)
+		st := g.Stats()
+
+		base, err := runBaseline(g, baseline.Config{
+			Graph:    g,
+			Seed:     o.Seed,
+			MaxSteps: o.walkLength(),
+			Dynamic:  baseline.Node2VecDynamic(2, 0.5),
+		}, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		kk, err := runKK(g, alg.Node2Vec(alg.Node2VecParams{
+			P: 2, Q: 0.5, Length: o.walkLength(), LowerBound: true, FoldOutlier: true,
+		}), g.NumVertices(), o.Nodes, o.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Graph:            spec.Name,
+			DegreeMean:       st.Mean,
+			DegreeVariance:   st.Variance,
+			FullScanPerStep:  base.EdgesPerStep,
+			RejectionPerStep: kk.EdgesPerStep,
+		})
+	}
+	return rows, nil
+}
+
+// Table1 prints the Table 1 reproduction.
+func Table1(o Options) error {
+	o = o.defaults()
+	rows, err := Table1Data(o)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("graph", "deg-mean", "deg-var", "full-scan edges/step", "knightking edges/step")
+	for _, r := range rows {
+		t.AddRow(r.Graph, r.DegreeMean, fmt.Sprintf("%.3g", r.DegreeVariance),
+			r.FullScanPerStep, r.RejectionPerStep)
+	}
+	return t.Write(o.Out)
+}
+
+// OverallRow is one (algorithm, graph) cell of Tables 3/4.
+type OverallRow struct {
+	Algorithm    string
+	Graph        string
+	BaselineSec  float64
+	KnightSec    float64
+	Speedup      float64
+	Extrapolated bool
+	R2           float64
+}
+
+// overallData runs the Table 3/4 grid, weighted or not.
+func overallData(o Options, weighted bool) ([]OverallRow, error) {
+	o = o.defaults()
+	length := o.walkLength()
+	var rows []OverallRow
+	for _, spec := range Standins() {
+		g := spec.Build(o, o.Seed)
+		if weighted {
+			g = gen.WithUniformWeights(g, 1, 5, o.Seed+9)
+		}
+		for _, w := range evaluationWorkloads(o, o.Seed) {
+			wg := prepareGraph(g, w, o.Seed+11)
+
+			bcfg := w.Baseline(length, weighted)
+			bcfg.Graph = wg
+			bcfg.Seed = o.Seed
+			bm, err := runBaseline(wg, bcfg, w.BaselineFraction)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s baseline: %w", w.Name, spec.Name, err)
+			}
+
+			km, err := runKK(wg, w.KK(length, weighted), wg.NumVertices(), o.Nodes, o.Seed, true)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s knightking: %w", w.Name, spec.Name, err)
+			}
+			rows = append(rows, OverallRow{
+				Algorithm:    w.Name,
+				Graph:        spec.Name,
+				BaselineSec:  bm.Seconds,
+				KnightSec:    km.Seconds,
+				Speedup:      bm.Seconds / km.Seconds,
+				Extrapolated: bm.Extrapolated,
+				R2:           bm.R2,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func printOverall(o Options, rows []OverallRow) error {
+	t := stats.NewTable("algorithm", "graph", "baseline(s)", "knightking(s)", "speedup")
+	for _, r := range rows {
+		mark := ""
+		if r.Extrapolated {
+			mark = "*"
+		}
+		t.AddRow(r.Algorithm, r.Graph,
+			fmt.Sprintf("%.2f%s", r.BaselineSec, mark),
+			fmt.Sprintf("%.2f", r.KnightSec),
+			fmt.Sprintf("%.2f%s", r.Speedup, mark))
+	}
+	if err := t.Write(o.Out); err != nil {
+		return err
+	}
+	minR2 := 1.0
+	for _, r := range rows {
+		if r.Extrapolated && r.R2 < minR2 {
+			minR2 = r.R2
+		}
+	}
+	_, err := fmt.Fprintf(o.Out,
+		"* baseline estimated from walker samples by linear regression (paper §7.1 methodology); min R² = %.4f\n",
+		minR2)
+	return err
+}
+
+// Table3Data returns the unweighted overall-performance grid.
+func Table3Data(o Options) ([]OverallRow, error) { return overallData(o, false) }
+
+// Table3 prints the Table 3 reproduction.
+func Table3(o Options) error {
+	o = o.defaults()
+	rows, err := Table3Data(o)
+	if err != nil {
+		return err
+	}
+	return printOverall(o, rows)
+}
+
+// Table4Data returns the weighted overall-performance grid.
+func Table4Data(o Options) ([]OverallRow, error) { return overallData(o, true) }
+
+// Table4 prints the Table 4 reproduction.
+func Table4(o Options) error {
+	o = o.defaults()
+	rows, err := Table4Data(o)
+	if err != nil {
+		return err
+	}
+	return printOverall(o, rows)
+}
+
+// Table5aRow is one hyper-parameter column of Table 5a.
+type Table5aRow struct {
+	P, Q              float64
+	NaiveSec          float64
+	LowerSec          float64
+	NaiveEdgesPerStep float64
+	LowerEdgesPerStep float64
+}
+
+// Table5aData measures the lower-bound optimization across the paper's
+// three (p, q) settings on the Twitter stand-in (unbiased node2vec).
+func Table5aData(o Options) ([]Table5aRow, error) {
+	o = o.defaults()
+	g := twitterLike(o, o.Seed)
+	length := o.walkLength()
+	var rows []Table5aRow
+	for _, pq := range [][2]float64{{2, 0.5}, {0.5, 2}, {1, 1}} {
+		run := func(lower bool) (metrics, error) {
+			return runKK(g, alg.Node2Vec(alg.Node2VecParams{
+				P: pq[0], Q: pq[1], Length: length, LowerBound: lower,
+			}), g.NumVertices(), o.Nodes, o.Seed, true)
+		}
+		naive, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		lower, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table5aRow{
+			P: pq[0], Q: pq[1],
+			NaiveSec: naive.Seconds, LowerSec: lower.Seconds,
+			NaiveEdgesPerStep: naive.EdgesPerStep, LowerEdgesPerStep: lower.EdgesPerStep,
+		})
+	}
+	return rows, nil
+}
+
+// Table5a prints the Table 5a reproduction.
+func Table5a(o Options) error {
+	o = o.defaults()
+	rows, err := Table5aData(o)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("metric", "p=2 q=0.5", "p=0.5 q=2", "p=1 q=1")
+	row := func(name string, pick func(Table5aRow) float64) {
+		t.AddRow(name, pick(rows[0]), pick(rows[1]), pick(rows[2]))
+	}
+	row("exec time (s), naive", func(r Table5aRow) float64 { return r.NaiveSec })
+	row("exec time (s), lower bound", func(r Table5aRow) float64 { return r.LowerSec })
+	row("edges/step, naive", func(r Table5aRow) float64 { return r.NaiveEdgesPerStep })
+	row("edges/step, lower bound", func(r Table5aRow) float64 { return r.LowerEdgesPerStep })
+	return t.Write(o.Out)
+}
+
+// Table5bRow is one optimization variant of Table 5b.
+type Table5bRow struct {
+	Variant      string
+	Seconds      float64
+	EdgesPerStep float64
+}
+
+// Table5bData measures the four optimization combinations at the paper's
+// hardest setting p=0.5, q=2 (single tall return-edge bar).
+func Table5bData(o Options) ([]Table5bRow, error) {
+	o = o.defaults()
+	g := twitterLike(o, o.Seed)
+	length := o.walkLength()
+	variants := []struct {
+		name           string
+		lower, outlier bool
+	}{
+		{"naive", false, false},
+		{"lower bound (L)", true, false},
+		{"outlier (O)", false, true},
+		{"L+O", true, true},
+	}
+	var rows []Table5bRow
+	for _, v := range variants {
+		m, err := runKK(g, alg.Node2Vec(alg.Node2VecParams{
+			P: 0.5, Q: 2, Length: length,
+			LowerBound: v.lower, FoldOutlier: v.outlier,
+		}), g.NumVertices(), o.Nodes, o.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table5bRow{Variant: v.name, Seconds: m.Seconds, EdgesPerStep: m.EdgesPerStep})
+	}
+	return rows, nil
+}
+
+// Table5b prints the Table 5b reproduction.
+func Table5b(o Options) error {
+	o = o.defaults()
+	rows, err := Table5bData(o)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("variant", "exec time (s)", "edges/step")
+	for _, r := range rows {
+		t.AddRow(r.Variant, r.Seconds, r.EdgesPerStep)
+	}
+	return t.Write(o.Out)
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"testing"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+)
+
+// benchRun executes one engine run and reports steps/sec.
+func benchRun(b *testing.B, a *core.Algorithm, nodes int) {
+	b.Helper()
+	g := gen.TruncatedPowerLaw(5000, 4, 500, 2.0, 1)
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{
+			Graph:     g,
+			Algorithm: a,
+			NumNodes:  nodes,
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Counters.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkEngineDeepWalk(b *testing.B) {
+	benchRun(b, alg.DeepWalk(20, false), 1)
+}
+
+func BenchmarkEngineDeepWalk4Nodes(b *testing.B) {
+	benchRun(b, alg.DeepWalk(20, false), 4)
+}
+
+func BenchmarkEnginePPR(b *testing.B) {
+	benchRun(b, alg.PPR(0.05, false, 0), 1)
+}
+
+func BenchmarkEngineMetaPath(b *testing.B) {
+	g := gen.WithTypes(gen.TruncatedPowerLaw(5000, 4, 500, 2.0, 1), 3, 2)
+	a := alg.MetaPath([][]int32{{0, 1}, {2}}, 20, false)
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{Graph: g, Algorithm: a, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Counters.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkEngineNode2Vec(b *testing.B) {
+	benchRun(b, alg.Node2Vec(alg.Node2VecParams{
+		P: 2, Q: 0.5, Length: 20, LowerBound: true, FoldOutlier: true,
+	}), 1)
+}
+
+func BenchmarkEngineNode2Vec4Nodes(b *testing.B) {
+	benchRun(b, alg.Node2Vec(alg.Node2VecParams{
+		P: 2, Q: 0.5, Length: 20, LowerBound: true, FoldOutlier: true,
+	}), 4)
+}

@@ -1,0 +1,993 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knightking/internal/cluster"
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+	"knightking/internal/sampling"
+	"knightking/internal/stats"
+	"knightking/internal/transport"
+)
+
+// Message kinds on the wire.
+const (
+	kMigrate  uint8 = iota + 1 // batched walker records
+	kQuery                     // batched state-query records
+	kResponse                  // batched query-response records
+	kCount                     // one int64: sender's live-walker count
+)
+
+// Chunk size for dynamic task scheduling, matching the paper's setting
+// (§6.2: "the granularity of such dynamic scheduling (chunk size) is set
+// as 128, for both walkers and messages").
+const walkerChunk = 128
+
+// DefaultLightThreshold is the paper's straggler threshold: a node whose
+// active walker count falls below it drops to a single worker (§6.2).
+const DefaultLightThreshold = 4000
+
+// Config describes one engine run.
+type Config struct {
+	// Graph is the input graph (shared read-only across logical nodes).
+	Graph *graph.Graph
+	// Algorithm is the walk specification.
+	Algorithm *Algorithm
+	// NumNodes is the number of logical cluster nodes (default 1). Ignored
+	// when Endpoints is set.
+	NumNodes int
+	// Workers is the number of computation goroutines per node (default 4,
+	// mirroring the paper's thread-per-core pools).
+	Workers int
+	// Seed makes the whole run deterministic.
+	Seed uint64
+	// NumWalkers is the walker count (default |V|).
+	NumWalkers int
+	// StartVertex places walker id (default: id mod |V|, the paper's
+	// default strategy). Mutually exclusive with StartWeights.
+	StartVertex func(id int64) graph.VertexID
+	// StartWeights, when set (length |V|), draws each walker's start
+	// vertex from this unnormalized distribution — the paper's "give ...
+	// their distribution of starting locations" API. The draw uses the
+	// walker's own stream, so placement stays deterministic in (seed, id).
+	StartWeights []float32
+	// RecordPaths stores each walker's visited vertex sequence in the
+	// result (memory ~ NumWalkers × walk length).
+	RecordPaths bool
+	// CountVisits accumulates per-vertex visit counts (moves into each
+	// vertex, start vertices excluded) in Result.Visits — the cheap way to
+	// compute PPR-style stationary estimates without storing paths.
+	CountVisits bool
+	// SamplerKind selects the static sampling structure: "alias" (default,
+	// O(1) per draw) or "its" (CDF + binary search, O(log d) per draw).
+	// Exposed for the ablation in the paper's §3 discussion.
+	SamplerKind string
+	// LightThreshold enables straggler-aware light mode below this active
+	// count; 0 selects DefaultLightThreshold, negative disables.
+	LightThreshold int
+	// Endpoints supplies a custom transport group (e.g. TCP); its size
+	// overrides NumNodes. Default: an in-process group of NumNodes.
+	Endpoints []transport.Endpoint
+	// MaxIterations aborts runaway walks (default 10,000,000 supersteps).
+	MaxIterations int
+	// Counters receives engine counters (optional; Result always carries a
+	// snapshot).
+	Counters *stats.Counters
+	// IterLog receives one record per superstep (optional).
+	IterLog *stats.IterationLog
+	// PartitionAlpha weighs vertices against edges in the 1-D partitioner
+	// (default 1, the paper's |V|+|E| balance).
+	PartitionAlpha float64
+	// PartitionStarts overrides the computed partition with explicit range
+	// boundaries (starts[i] = node i's first vertex, last entry = |V|).
+	// Mandatory when Graph is a partition-local slice (graph.Partial), in
+	// which case every rank must pass identical boundaries matching its
+	// slice. Length must be number-of-nodes + 1.
+	PartitionStarts []graph.VertexID
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Iterations is the number of supersteps executed.
+	Iterations int
+	// Counters is the final counter snapshot.
+	Counters stats.Snapshot
+	// Lengths is the walk-length histogram (steps at termination).
+	Lengths *stats.Histogram
+	// Paths holds per-walker vertex sequences when RecordPaths was set
+	// (indexed by walker ID), nil otherwise.
+	Paths [][]graph.VertexID
+	// Visits holds per-vertex visit counts when CountVisits was set, nil
+	// otherwise.
+	Visits []int64
+	// Duration is the wall-clock walk time (excluding initialization, as
+	// in the paper's methodology it *includes* walker/sampler setup; see
+	// SetupDuration).
+	Duration time.Duration
+	// SetupDuration is the sampler/walker initialization time.
+	SetupDuration time.Duration
+	// LightIterations counts supersteps rank 0 spent in light mode.
+	LightIterations int
+}
+
+// Run executes the walk described by cfg and returns the result.
+func Run(cfg Config) (*Result, error) {
+	eps := cfg.Endpoints
+	if eps == nil {
+		n := cfg.NumNodes
+		if n <= 0 {
+			n = 1
+		}
+		eps = transport.NewInProcGroup(n)
+	}
+	numNodes := len(eps)
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+
+	part, err := cfg.partition(numNodes)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(&cfg)
+
+	setupStart := time.Now()
+	nodes := make([]*node, numNodes)
+	for rank := 0; rank < numNodes; rank++ {
+		nodes[rank] = newNode(rank, &cfg, part, eps[rank], counters, res)
+	}
+	res.SetupDuration = time.Since(setupStart)
+
+	walkStart := time.Now()
+	var iterations atomic.Int64
+	var lightIters atomic.Int64
+	err = cluster.Run(eps, func(rank int, ep transport.Endpoint) error {
+		n := nodes[rank]
+		iters, light, err := n.run()
+		if rank == 0 {
+			iterations.Store(int64(iters))
+			lightIters.Store(int64(light))
+		}
+		return err
+	})
+	res.Duration = time.Since(walkStart)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = int(iterations.Load())
+	res.LightIterations = int(lightIters.Load())
+
+	var msgs, bytes int64
+	for _, ep := range eps {
+		m, b := ep.Stats()
+		msgs += m
+		bytes += b
+	}
+	counters.Messages.Store(msgs)
+	counters.BytesSent.Store(bytes)
+	res.Counters = counters.Snapshot()
+	return res, nil
+}
+
+// RunNode executes one rank's share of a *multi-process* distributed walk:
+// the caller brings up a transport endpoint (typically via
+// transport.DialTCPGroup, one OS process per rank — the paper's MPI
+// deployment model), and every process calls RunNode with an identical
+// Config (same graph, algorithm, and seed). The returned Result covers
+// only this node's share: walkers that terminated here, visits to owned
+// vertices' destinations made here, and this endpoint's traffic. Counter
+// and histogram values must be summed across ranks for cluster totals;
+// walker paths are disjoint across ranks and can be concatenated.
+func RunNode(cfg Config, ep transport.Endpoint) (*Result, error) {
+	if ep == nil {
+		return nil, fmt.Errorf("core: RunNode requires an endpoint")
+	}
+	cfg.Endpoints = nil
+	cfg.NumNodes = ep.Size()
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	part, err := cfg.partition(ep.Size())
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(&cfg)
+
+	setupStart := time.Now()
+	n := newNode(ep.Rank(), &cfg, part, ep, counters, res)
+	res.SetupDuration = time.Since(setupStart)
+
+	walkStart := time.Now()
+	iters, light, runErr := n.run()
+	res.Duration = time.Since(walkStart)
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.Iterations = iters
+	res.LightIterations = light
+
+	m, b := ep.Stats()
+	counters.Messages.Store(m)
+	counters.BytesSent.Store(b)
+	res.Counters = counters.Snapshot()
+	return res, nil
+}
+
+// normalize validates cfg and fills defaults.
+func (cfg *Config) normalize() error {
+	if cfg.Graph == nil || cfg.Algorithm == nil {
+		return fmt.Errorf("core: Config requires Graph and Algorithm")
+	}
+	if err := cfg.Algorithm.validate(cfg.Graph); err != nil {
+		return err
+	}
+	if cfg.Graph.NumVertices() == 0 {
+		return fmt.Errorf("core: empty graph")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.NumWalkers <= 0 {
+		cfg.NumWalkers = cfg.Graph.NumVertices()
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10_000_000
+	}
+	if cfg.LightThreshold == 0 {
+		cfg.LightThreshold = DefaultLightThreshold
+	}
+	if cfg.PartitionAlpha == 0 {
+		cfg.PartitionAlpha = 1
+	}
+	switch cfg.SamplerKind {
+	case "", "alias", "its":
+	default:
+		return fmt.Errorf("core: unknown SamplerKind %q (want alias or its)", cfg.SamplerKind)
+	}
+	if cfg.StartVertex != nil && cfg.StartWeights != nil {
+		return fmt.Errorf("core: StartVertex and StartWeights are mutually exclusive")
+	}
+	if cfg.StartWeights != nil && len(cfg.StartWeights) != cfg.Graph.NumVertices() {
+		return fmt.Errorf("core: StartWeights length %d != |V| %d", len(cfg.StartWeights), cfg.Graph.NumVertices())
+	}
+	return nil
+}
+
+// partition resolves the vertex partition for numNodes ranks.
+func (cfg *Config) partition(numNodes int) (*cluster.Partition, error) {
+	if cfg.PartitionStarts != nil {
+		if len(cfg.PartitionStarts) != numNodes+1 {
+			return nil, fmt.Errorf("core: PartitionStarts has %d boundaries, want %d",
+				len(cfg.PartitionStarts), numNodes+1)
+		}
+		if int(cfg.PartitionStarts[numNodes]) != cfg.Graph.NumVertices() {
+			return nil, fmt.Errorf("core: PartitionStarts does not cover |V|=%d", cfg.Graph.NumVertices())
+		}
+		return cluster.NewPartition(cfg.PartitionStarts)
+	}
+	if cfg.Graph.Partial() {
+		return nil, fmt.Errorf("core: a partition-local graph requires explicit PartitionStarts")
+	}
+	return cluster.Partition1D(cfg.Graph, numNodes, cfg.PartitionAlpha), nil
+}
+
+// newResult allocates the result sinks for a run.
+func newResult(cfg *Config) *Result {
+	histSize := cfg.Algorithm.MaxSteps
+	if histSize <= 0 {
+		histSize = 4096
+	}
+	res := &Result{Lengths: stats.NewHistogram(histSize + 1)}
+	if cfg.RecordPaths {
+		res.Paths = make([][]graph.VertexID, cfg.NumWalkers)
+	}
+	if cfg.CountVisits {
+		res.Visits = make([]int64, cfg.Graph.NumVertices())
+	}
+	return res
+}
+
+// node is one logical cluster node: a vertex partition, its precomputed
+// samplers, and the walkers currently residing on it.
+type node struct {
+	rank     int
+	cfg      *Config
+	g        *graph.Graph
+	alg      *Algorithm
+	part     *cluster.Partition
+	ep       transport.Endpoint
+	lo, hi   graph.VertexID
+	counters *stats.Counters
+	res      *Result
+
+	// Per owned vertex (index v-lo): static sampler and rejection
+	// dartboard (dynamic algorithms only). nil for degree-0 vertices.
+	samplers   []sampling.StaticSampler
+	rejections []*sampling.Rejection
+
+	walkers  []*Walker
+	awaiting map[int64]*Walker
+
+	inFlight int64 // migrations sent but not yet counted by their receiver
+}
+
+func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoint, counters *stats.Counters, res *Result) *node {
+	n := &node{
+		rank:     rank,
+		cfg:      cfg,
+		g:        cfg.Graph,
+		alg:      cfg.Algorithm,
+		part:     part,
+		ep:       ep,
+		counters: counters,
+		res:      res,
+		awaiting: make(map[int64]*Walker),
+	}
+	n.lo, n.hi = part.Range(rank)
+	n.buildSamplers()
+	n.seedWalkers()
+	return n
+}
+
+// buildSamplers precomputes the per-vertex static samplers (alias tables
+// for biased walks) and rejection dartboards, the paper's initialization
+// step.
+func (n *node) buildSamplers() {
+	count := int(n.hi - n.lo)
+	n.samplers = make([]sampling.StaticSampler, count)
+	if n.alg.dynamic() {
+		n.rejections = make([]*sampling.Rejection, count)
+	}
+	for i := 0; i < count; i++ {
+		v := n.lo + graph.VertexID(i)
+		deg := n.g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		var s sampling.StaticSampler
+		if n.alg.uniformStatic() {
+			s = sampling.NewUniform(deg)
+		} else {
+			weights := make([]float32, deg)
+			for j := 0; j < deg; j++ {
+				weights[j] = n.alg.staticWeight(n.g, v, j)
+			}
+			var err error
+			if n.cfg.SamplerKind == "its" {
+				s, err = sampling.NewITS(weights)
+			} else {
+				s, err = sampling.NewAlias(weights)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("core: vertex %d static weights: %v", v, err))
+			}
+		}
+		n.samplers[i] = s
+		if n.alg.dynamic() {
+			q := n.alg.UpperBound(n.g, v)
+			l := 0.0
+			if n.alg.LowerBound != nil {
+				l = n.alg.LowerBound(n.g, v)
+			}
+			var apps []sampling.Appendix
+			if n.alg.Outliers != nil {
+				apps = n.alg.Outliers(n.g, v)
+			}
+			n.rejections[i] = sampling.NewRejection(s, q, l, apps)
+		}
+	}
+}
+
+// seedWalkers creates the walkers whose start vertex this node owns.
+// Every node derives every walker's start deterministically (from the
+// config or the walker's own stream), so no coordination is needed to
+// agree on placement.
+func (n *node) seedWalkers() {
+	numV := int64(n.g.NumVertices())
+	var startDist *sampling.ITS
+	if n.cfg.StartWeights != nil {
+		its, err := sampling.NewITS(n.cfg.StartWeights)
+		if err != nil {
+			panic(fmt.Sprintf("core: StartWeights: %v", err))
+		}
+		startDist = its
+	}
+	for id := int64(0); id < int64(n.cfg.NumWalkers); id++ {
+		w := &Walker{ID: id, R: *rng.NewStream(n.cfg.Seed, uint64(id))}
+		var start graph.VertexID
+		switch {
+		case startDist != nil:
+			start = graph.VertexID(startDist.Sample(&w.R))
+		case n.cfg.StartVertex != nil:
+			start = n.cfg.StartVertex(id)
+		default:
+			start = graph.VertexID(id % numV)
+		}
+		if !n.part.Owns(n.rank, start) {
+			continue
+		}
+		w.Cur = start
+		w.Origin = start
+		if n.cfg.RecordPaths {
+			w.Path = []graph.VertexID{start}
+		}
+		if n.alg.InitWalker != nil {
+			n.alg.InitWalker(w, &w.R)
+		}
+		n.walkers = append(n.walkers, w)
+	}
+}
+
+// outBufs accumulates batched outgoing records for one phase. Each worker
+// owns its own outBufs, so no locking is needed while encoding.
+type outBufs struct {
+	size       int
+	migrate    [][]byte
+	query      [][]byte
+	response   [][]byte
+	migrations int64
+}
+
+func newOutBufs(size int) *outBufs {
+	return &outBufs{
+		size:     size,
+		migrate:  make([][]byte, size),
+		query:    make([][]byte, size),
+		response: make([][]byte, size),
+	}
+}
+
+func (o *outBufs) addMigration(dest int, w *Walker) {
+	o.migrate[dest] = encodeWalker(o.migrate[dest], w)
+	o.migrations++
+}
+
+func (o *outBufs) addQuery(dest int, walkerID int64, target graph.VertexID, arg uint64) {
+	var rec [20]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(walkerID))
+	binary.LittleEndian.PutUint32(rec[8:], target)
+	binary.LittleEndian.PutUint64(rec[12:], arg)
+	o.query[dest] = append(o.query[dest], rec[:]...)
+}
+
+func (o *outBufs) addResponse(dest int, walkerID int64, result uint64) {
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(walkerID))
+	binary.LittleEndian.PutUint64(rec[8:], result)
+	o.response[dest] = append(o.response[dest], rec[:]...)
+}
+
+// flush sends all non-empty buffers.
+func (o *outBufs) flush(ep transport.Endpoint) {
+	for dest := 0; dest < o.size; dest++ {
+		if len(o.migrate[dest]) > 0 {
+			ep.Send(dest, kMigrate, o.migrate[dest])
+			o.migrate[dest] = nil
+		}
+		if len(o.query[dest]) > 0 {
+			ep.Send(dest, kQuery, o.query[dest])
+			o.query[dest] = nil
+		}
+		if len(o.response[dest]) > 0 {
+			ep.Send(dest, kResponse, o.response[dest])
+			o.response[dest] = nil
+		}
+	}
+}
+
+// run executes the BSP superstep loop (paper §5.1). Every superstep has
+// one exchange for static/first-order walks, or two for higher-order walks
+// (queries out + responses back), exactly the structure the paper
+// describes.
+func (n *node) run() (iterations, lightIters int, err error) {
+	twoRound := n.alg.higherOrder()
+	for {
+		iterations++
+		if iterations > n.cfg.MaxIterations {
+			return iterations, lightIters, fmt.Errorf("core: exceeded %d supersteps; walk not converging", n.cfg.MaxIterations)
+		}
+		start := time.Now()
+		active := len(n.walkers)
+		light := n.lightMode(active)
+		if light {
+			lightIters++
+		}
+
+		// Phase A: local walker processing (trials, local moves, query and
+		// migration generation).
+		parked := n.phaseA(light)
+		for _, w := range parked {
+			n.awaiting[w.ID] = w
+		}
+
+		// Send this node's live-walker count to every rank, then exchange.
+		count := int64(len(n.walkers)) + n.inFlight
+		var cb [8]byte
+		binary.LittleEndian.PutUint64(cb[:], uint64(count))
+		for dest := 0; dest < n.ep.Size(); dest++ {
+			n.ep.Send(dest, kCount, cb[:])
+		}
+		n.inFlight = 0
+
+		msgs, err := n.ep.Exchange()
+		if err != nil {
+			return iterations, lightIters, err
+		}
+
+		var global int64
+		var queryMsgs []transport.Message
+		for _, m := range msgs {
+			switch m.Kind {
+			case kCount:
+				global += int64(binary.LittleEndian.Uint64(m.Payload))
+			case kMigrate:
+				if err := n.receiveWalkers(m.Payload); err != nil {
+					return iterations, lightIters, err
+				}
+			case kQuery:
+				queryMsgs = append(queryMsgs, m)
+			default:
+				return iterations, lightIters, fmt.Errorf("core: unexpected message kind %d in round 1", m.Kind)
+			}
+		}
+
+		if n.rank == 0 && n.cfg.IterLog != nil {
+			n.cfg.IterLog.Append(stats.IterationRecord{
+				Iteration:     iterations,
+				ActiveWalkers: global,
+				Duration:      time.Since(start),
+				LightMode:     light,
+			})
+		}
+		if global == 0 {
+			return iterations, lightIters, nil
+		}
+		if !twoRound {
+			continue
+		}
+
+		// Phase B: answer incoming state queries, in parallel chunks (the
+		// paper schedules "chunks of either walkers or messages"; walkers
+		// were phase A, messages are here).
+		if err := n.phaseB(queryMsgs, light); err != nil {
+			return iterations, lightIters, err
+		}
+
+		msgs, err = n.ep.Exchange()
+		if err != nil {
+			return iterations, lightIters, err
+		}
+
+		// Phase C: resolve pending darts with the returned results.
+		out := newOutBufs(n.ep.Size())
+		for _, m := range msgs {
+			if m.Kind != kResponse {
+				return iterations, lightIters, fmt.Errorf("core: unexpected message kind %d in round 2", m.Kind)
+			}
+			if err := n.applyResponses(m.Payload, out); err != nil {
+				return iterations, lightIters, err
+			}
+		}
+		n.inFlight += out.migrations
+		out.flush(n.ep) // delivered at next superstep's first exchange
+	}
+}
+
+// lightMode reports whether this node should shrink to one worker.
+func (n *node) lightMode(active int) bool {
+	return n.cfg.LightThreshold > 0 && active < n.cfg.LightThreshold
+}
+
+// phaseA processes every ready walker once (to a move, a termination, or a
+// parked query), in parallel chunks, then compacts the walker list.
+// Returns the walkers parked on queries this phase.
+func (n *node) phaseA(light bool) []*Walker {
+	workers := n.cfg.Workers
+	if light {
+		workers = 1
+	}
+	ws := n.walkers
+	keep := make([]bool, len(ws))
+	workerParked := make([][]*Walker, workers)
+	workerBufs := make([]*outBufs, workers)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			out := newOutBufs(n.ep.Size())
+			workerBufs[wk] = out
+			for {
+				base := int(next.Add(walkerChunk)) - walkerChunk
+				if base >= len(ws) {
+					return
+				}
+				end := base + walkerChunk
+				if end > len(ws) {
+					end = len(ws)
+				}
+				for i := base; i < end; i++ {
+					w := ws[i]
+					if w.awaiting {
+						keep[i] = true // parked in an earlier superstep
+						continue
+					}
+					k, parked := n.processReady(w, out)
+					keep[i] = k
+					if parked {
+						workerParked[wk] = append(workerParked[wk], w)
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	kept := ws[:0]
+	for i, w := range ws {
+		if keep[i] {
+			kept = append(kept, w)
+		}
+	}
+	n.walkers = kept
+
+	var parked []*Walker
+	for wk := 0; wk < workers; wk++ {
+		parked = append(parked, workerParked[wk]...)
+		n.inFlight += workerBufs[wk].migrations
+		workerBufs[wk].flush(n.ep)
+	}
+	return parked
+}
+
+// processReady advances walker w by at most one step. It returns whether w
+// stays in this node's walker list and whether it parked on a remote query.
+func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
+	if !w.sampling {
+		// Step-boundary termination checks (the Pe component).
+		if n.alg.MaxSteps > 0 && int(w.Step) >= n.alg.MaxSteps {
+			n.finish(w)
+			return false, false
+		}
+		if n.alg.TerminationProb > 0 && w.R.Bernoulli(n.alg.TerminationProb) {
+			n.finish(w)
+			return false, false
+		}
+		if n.alg.RestartProb > 0 && w.R.Bernoulli(n.alg.RestartProb) {
+			return n.teleport(w, out), false
+		}
+		if n.g.Degree(w.Cur) == 0 {
+			n.finish(w)
+			return false, false
+		}
+		w.sampling = true
+	}
+
+	if !n.alg.dynamic() {
+		// Static walk: sample directly from the precomputed table; no
+		// rejection step, no Pd evaluations (paper: "executes its unified
+		// sampling workflow, but without actually performing rejection
+		// sampling").
+		n.counters.Trials.Add(1)
+		idx := n.samplerOf(w.Cur).Sample(&w.R)
+		return n.move(w, idx, out), false
+	}
+
+	rj := n.rejectionOf(w.Cur)
+	fallbackAt := n.alg.fallbackTrials()
+	for trials := 0; ; trials++ {
+		if trials >= fallbackAt {
+			if !n.alg.higherOrder() {
+				return n.fullScanStep(w, out), false
+			}
+			// Remote Pd rules out an exact full scan; check for dead ends
+			// if the algorithm can, otherwise yield and retry next
+			// superstep.
+			if n.alg.ZeroMassCheck != nil && n.alg.ZeroMassCheck(n.g, w.Cur, w) {
+				n.finish(w)
+				return false, false
+			}
+			return true, false
+		}
+		n.counters.Trials.Add(1)
+		p := rj.Propose(&w.R)
+		if p.Appendix >= 0 {
+			n.counters.AppendixHits.Add(1)
+			tag := rj.Appendices()[p.Appendix].Tag
+			idx := n.alg.LocateOutlier(n.g, w.Cur, w, tag)
+			if idx < 0 {
+				continue
+			}
+			e := n.g.EdgeAt(w.Cur, idx)
+			pd := n.alg.EdgeDynamicComp(w, e, 0, false)
+			n.counters.EdgeProbEvals.Add(1)
+			prob := rj.AppendixAcceptProb(p, n.samplerOf(w.Cur).WeightAt(idx), pd)
+			if w.R.Bernoulli(prob) {
+				return n.move(w, idx, out), false
+			}
+			continue
+		}
+		if p.PreAccepted {
+			n.counters.PreAccepts.Add(1)
+			return n.move(w, p.EdgeIdx, out), false
+		}
+		e := n.g.EdgeAt(w.Cur, p.EdgeIdx)
+		if n.alg.higherOrder() {
+			if target, arg, needed := n.alg.PostQuery(w, e); needed {
+				w.awaiting = true
+				w.pendingEdge = int32(p.EdgeIdx)
+				w.pendingY = p.Y
+				out.addQuery(n.part.Owner(target), w.ID, target, arg)
+				n.counters.Queries.Add(1)
+				return true, true
+			}
+		}
+		pd := n.alg.EdgeDynamicComp(w, e, 0, false)
+		n.counters.EdgeProbEvals.Add(1)
+		if rj.AcceptMain(p, pd) {
+			return n.move(w, p.EdgeIdx, out), false
+		}
+	}
+}
+
+// fullScanStep is the exact O(deg) fallback used after FallbackTrials
+// consecutive rejections at one vertex: evaluate Pd for every edge, sample
+// the product distribution directly, or terminate the walk when no edge
+// has positive probability (the paper's "no out edges ... are eligible").
+func (n *node) fullScanStep(w *Walker, out *outBufs) (keep bool) {
+	deg := n.g.Degree(w.Cur)
+	s := n.samplerOf(w.Cur)
+	weights := make([]float64, deg)
+	total := 0.0
+	for i := 0; i < deg; i++ {
+		e := n.g.EdgeAt(w.Cur, i)
+		pd := n.alg.EdgeDynamicComp(w, e, 0, false)
+		n.counters.EdgeProbEvals.Add(1)
+		weights[i] = s.WeightAt(i) * pd
+		total += weights[i]
+	}
+	if total <= 0 {
+		n.finish(w)
+		return false
+	}
+	its, err := sampling.NewITSFromFloat64(weights)
+	if err != nil {
+		panic(fmt.Sprintf("core: full-scan fallback at vertex %d: %v", w.Cur, err))
+	}
+	n.counters.Trials.Add(1)
+	return n.move(w, its.Sample(&w.R), out)
+}
+
+// move advances w along its current vertex's edgeIdx-th edge, migrating it
+// when the destination is owned elsewhere. Returns whether w stays local.
+func (n *node) move(w *Walker, edgeIdx int, out *outBufs) bool {
+	dst := n.g.Neighbors(w.Cur)[edgeIdx]
+	n.counters.Steps.Add(1)
+	return n.relocate(w, dst, out)
+}
+
+// teleport jumps w back to its origin (restart), counting a step of walk
+// length but not an edge traversal.
+func (n *node) teleport(w *Walker, out *outBufs) bool {
+	n.counters.Restarts.Add(1)
+	return n.relocate(w, w.Origin, out)
+}
+
+// relocate places w at dst, updating state, visit counts, and path, and
+// migrating the walker if dst is owned by another node.
+func (n *node) relocate(w *Walker, dst graph.VertexID, out *outBufs) bool {
+	if k := n.alg.HistorySize; k > 0 {
+		w.History = append(w.History, w.Cur)
+		if len(w.History) > k {
+			copy(w.History, w.History[len(w.History)-k:])
+			w.History = w.History[:k]
+		}
+	}
+	w.Prev = w.Cur
+	w.Cur = dst
+	w.Step++
+	w.sampling = false
+	if w.Path != nil {
+		w.Path = append(w.Path, dst)
+	}
+	if n.res.Visits != nil {
+		atomic.AddInt64(&n.res.Visits[dst], 1)
+	}
+	if n.part.Owns(n.rank, dst) {
+		return true
+	}
+	out.addMigration(n.part.Owner(dst), w)
+	return false
+}
+
+// finish retires a walker and records its results.
+func (n *node) finish(w *Walker) {
+	n.counters.Terminations.Add(1)
+	n.res.Lengths.Observe(int64(w.Step))
+	if n.res.Paths != nil {
+		n.res.Paths[w.ID] = w.Path
+	}
+}
+
+// receiveWalkers decodes a migration batch into the local walker list.
+func (n *node) receiveWalkers(payload []byte) error {
+	for len(payload) > 0 {
+		w, rest, err := decodeWalker(payload)
+		if err != nil {
+			return err
+		}
+		payload = rest
+		n.walkers = append(n.walkers, w)
+	}
+	return nil
+}
+
+// queryRecordLen is the wire size of one state-query record.
+const queryRecordLen = 20
+
+// phaseB answers all incoming state queries, processing chunks of records
+// in parallel (chunk size 128, matching the walker chunks) and flushing
+// each worker's batched responses.
+func (n *node) phaseB(queryMsgs []transport.Message, light bool) error {
+	var total int
+	for _, m := range queryMsgs {
+		if len(m.Payload)%queryRecordLen != 0 {
+			return fmt.Errorf("core: malformed query batch (%d bytes)", len(m.Payload))
+		}
+		total += len(m.Payload) / queryRecordLen
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// Flatten message boundaries into a global record index space.
+	spans := make([]querySpan, len(queryMsgs))
+	idx := 0
+	for i, m := range queryMsgs {
+		spans[i] = querySpan{m: m, first: idx}
+		idx += len(m.Payload) / queryRecordLen
+	}
+
+	workers := n.cfg.Workers
+	if light || workers > (total+walkerChunk-1)/walkerChunk {
+		workers = 1
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			out := newOutBufs(n.ep.Size())
+			for {
+				base := int(next.Add(walkerChunk)) - walkerChunk
+				if base >= total {
+					break
+				}
+				end := base + walkerChunk
+				if end > total {
+					end = total
+				}
+				if err := n.answerQueryRange(spans, base, end, out); err != nil {
+					errs[wk] = err
+					break
+				}
+			}
+			out.flush(n.ep)
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// querySpan indexes one incoming query batch within the flattened global
+// record space of a phase B.
+type querySpan struct {
+	m     transport.Message
+	first int // global index of the batch's first record
+}
+
+// answerQueryRange answers the global record range [base, end) against the
+// flattened query spans.
+func (n *node) answerQueryRange(spans []querySpan, base, end int, out *outBufs) error {
+	// Locate the span containing base.
+	si := 0
+	for si+1 < len(spans) && spans[si+1].first <= base {
+		si++
+	}
+	for i := base; i < end; {
+		sp := spans[si]
+		count := len(sp.m.Payload) / queryRecordLen
+		local := i - sp.first
+		if local >= count {
+			si++
+			continue
+		}
+		off := local * queryRecordLen
+		payload := sp.m.Payload
+		walkerID := int64(binary.LittleEndian.Uint64(payload[off:]))
+		target := binary.LittleEndian.Uint32(payload[off+8:])
+		arg := binary.LittleEndian.Uint64(payload[off+12:])
+		if !n.part.Owns(n.rank, target) {
+			return fmt.Errorf("core: query for vertex %d routed to wrong node %d", target, n.rank)
+		}
+		out.addResponse(sp.m.From, walkerID, n.alg.answerQuery(n.g, target, arg))
+		i++
+	}
+	return nil
+}
+
+// applyResponses resolves parked walkers' pending darts.
+func (n *node) applyResponses(payload []byte, out *outBufs) error {
+	if len(payload)%16 != 0 {
+		return fmt.Errorf("core: malformed response batch (%d bytes)", len(payload))
+	}
+	for off := 0; off < len(payload); off += 16 {
+		walkerID := int64(binary.LittleEndian.Uint64(payload[off:]))
+		result := binary.LittleEndian.Uint64(payload[off+8:])
+		w, ok := n.awaiting[walkerID]
+		if !ok {
+			return fmt.Errorf("core: response for unknown walker %d", walkerID)
+		}
+		delete(n.awaiting, walkerID)
+		w.awaiting = false
+
+		e := n.g.EdgeAt(w.Cur, int(w.pendingEdge))
+		pd := n.alg.EdgeDynamicComp(w, e, result, true)
+		n.counters.EdgeProbEvals.Add(1)
+		rj := n.rejectionOf(w.Cur)
+		p := sampling.Proposal{EdgeIdx: int(w.pendingEdge), Appendix: -1, Y: w.pendingY}
+		if rj.AcceptMain(p, pd) {
+			if !n.move(w, int(w.pendingEdge), out) {
+				n.removeWalker(w)
+			}
+		}
+		// On rejection the walker simply stays mid-step (sampling == true)
+		// and retries at the next superstep — the paper's "less fortunate
+		// ones stuck at their current vertex for the next iteration".
+	}
+	return nil
+}
+
+// removeWalker drops a migrated walker from the local list (slow path,
+// only used when a phase-C acceptance crosses nodes).
+func (n *node) removeWalker(w *Walker) {
+	for i, x := range n.walkers {
+		if x == w {
+			last := len(n.walkers) - 1
+			n.walkers[i] = n.walkers[last]
+			n.walkers = n.walkers[:last]
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: walker %d not found for removal", w.ID))
+}
+
+func (n *node) samplerOf(v graph.VertexID) sampling.StaticSampler {
+	return n.samplers[v-n.lo]
+}
+
+func (n *node) rejectionOf(v graph.VertexID) *sampling.Rejection {
+	return n.rejections[v-n.lo]
+}

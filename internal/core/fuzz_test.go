@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+)
+
+// FuzzDecodeWalker throws arbitrary bytes at the walker codec: it must
+// never panic, and whatever it accepts must re-encode to the same bytes it
+// consumed (a canonical-form check).
+func FuzzDecodeWalker(f *testing.F) {
+	w := &Walker{
+		ID: 7, Cur: 3, Prev: 2, Step: 5, Tag: 1, Origin: 3,
+		R:       *rng.New(11),
+		Path:    []graph.VertexID{3, 2, 3},
+		History: []graph.VertexID{9, 2},
+	}
+	f.Add(encodeWalker(nil, w))
+	f.Add([]byte{})
+	f.Add(make([]byte, walkerFixedLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, rest, err := decodeWalker(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		re := encodeWalker(nil, got)
+		if len(re) != len(consumed) {
+			t.Fatalf("re-encode length %d != consumed %d", len(re), len(consumed))
+		}
+		for i := range re {
+			if re[i] != consumed[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

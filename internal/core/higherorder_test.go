@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+// parityAlg is a second-order test algorithm: the walker queries the node
+// owning its previous vertex and only accepts candidates whose parity
+// matches the previous vertex's degree parity. It exercises the full
+// two-round query machinery with an easily checkable invariant.
+func parityAlg(length int) *Algorithm {
+	return &Algorithm{
+		Name:     "parity",
+		MaxSteps: length,
+		EdgeDynamicComp: func(w *Walker, e graph.Edge, result uint64, hasResult bool) float64 {
+			if w.Step == 0 {
+				return 1
+			}
+			if !hasResult {
+				panic("parity Pd needs a query result")
+			}
+			if (uint64(e.Dst)+result)%2 == 0 {
+				return 1
+			}
+			return 0.25
+		},
+		UpperBound: func(*graph.Graph, graph.VertexID) float64 { return 1 },
+		PostQuery: func(w *Walker, e graph.Edge) (graph.VertexID, uint64, bool) {
+			if w.Step == 0 {
+				return 0, 0, false
+			}
+			return w.Prev, uint64(e.Dst), true
+		},
+		QueryHandler: func(g *graph.Graph, target graph.VertexID, arg uint64) uint64 {
+			return uint64(g.Degree(target) % 2)
+		},
+	}
+}
+
+func TestHigherOrderWalkCompletes(t *testing.T) {
+	g := gen.UniformDegree(100, 6, 31)
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   parityAlg(6),
+		NumNodes:    3,
+		Seed:        1,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Terminations != int64(g.NumVertices()) {
+		t.Fatalf("Terminations = %d", res.Counters.Terminations)
+	}
+	if res.Counters.Queries == 0 {
+		t.Fatal("no state queries issued by a second-order walk")
+	}
+	if res.Counters.EdgeProbEvals == 0 {
+		t.Fatal("no Pd evaluations")
+	}
+	for id, p := range res.Paths {
+		if len(p) != 7 {
+			t.Fatalf("walker %d path %v", id, p)
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("walker %d took non-edge", id)
+			}
+		}
+	}
+}
+
+func TestHigherOrderDeterminismAcrossNodeCounts(t *testing.T) {
+	g := gen.UniformDegree(120, 8, 33)
+	var ref [][]graph.VertexID
+	for _, nodes := range []int{1, 2, 5} {
+		res, err := Run(Config{
+			Graph:       g,
+			Algorithm:   parityAlg(8),
+			NumNodes:    nodes,
+			Seed:        77,
+			RecordPaths: true,
+		})
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if ref == nil {
+			ref = res.Paths
+			continue
+		}
+		assertSamePaths(t, ref, res.Paths)
+	}
+}
+
+func TestHigherOrderQueriesRouteToOwners(t *testing.T) {
+	// With a custom handler that checks ownership (the engine already
+	// errors on misrouted queries), a multi-node run exercising many
+	// cross-partition prev/cur pairs must succeed.
+	g := gen.UniformDegree(200, 10, 35)
+	_, err := Run(Config{
+		Graph:     g,
+		Algorithm: parityAlg(10),
+		NumNodes:  7,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherOrderRejectionRetriesAcrossSupersteps(t *testing.T) {
+	// Pd = 0.25 for half the candidates means frequent rejections; the
+	// iteration count must exceed the walk length (stragglers retry),
+	// which is the behavior Figure 5 is about.
+	g := gen.UniformDegree(60, 6, 37)
+	res, err := Run(Config{
+		Graph:     g,
+		Algorithm: parityAlg(5),
+		NumNodes:  2,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations <= 5 {
+		t.Fatalf("iterations = %d, expected straggler supersteps beyond walk length", res.Iterations)
+	}
+	if res.Counters.Trials <= res.Counters.Steps {
+		t.Fatalf("trials %d <= steps %d despite rejections", res.Counters.Trials, res.Counters.Steps)
+	}
+}

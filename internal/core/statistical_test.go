@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+// TestStationaryDistributionMatchesDegree is an end-to-end statistical
+// check of the whole engine: on a connected undirected graph, the
+// stationary distribution of an unbiased random walk is exactly
+// deg(v)/2|E|. Long walks' visit frequencies must converge to it.
+func TestStationaryDistributionMatchesDegree(t *testing.T) {
+	g := gen.UniformDegree(200, 8, 41) // near-regular, fast mixing
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   staticAlg(400),
+		NumWalkers:  400,
+		NumNodes:    3,
+		Seed:        43,
+		CountVisits: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(res.Counters.Steps)
+	twoE := float64(g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		want := float64(g.Degree(graph.VertexID(v))) / twoE
+		got := float64(res.Visits[v]) / total
+		// ~160k total visits, ~800 expected per vertex: 4-sigma tolerance.
+		sigma := math.Sqrt(want * (1 - want) / total)
+		if math.Abs(got-want) > 5*sigma+1e-4 {
+			t.Fatalf("vertex %d: visit frequency %v, stationary %v (deg %d)",
+				v, got, want, g.Degree(graph.VertexID(v)))
+		}
+	}
+}
+
+// TestStationaryDistributionWeighted: for a weighted walk the stationary
+// probability is strength(v)/Σstrength, where strength is the vertex's
+// total edge weight (holds because the symmetric weights make the chain
+// reversible).
+func TestStationaryDistributionWeighted(t *testing.T) {
+	g := gen.WithUniformWeights(gen.UniformDegree(100, 10, 47), 1, 5, 49)
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   &Algorithm{Name: "wstat", Biased: true, MaxSteps: 500},
+		NumWalkers:  300,
+		NumNodes:    2,
+		Seed:        51,
+		CountVisits: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalStrength := 0.0
+	for v := 0; v < g.NumVertices(); v++ {
+		totalStrength += g.TotalWeight(graph.VertexID(v))
+	}
+	total := float64(res.Counters.Steps)
+	var worst float64
+	for v := 0; v < g.NumVertices(); v++ {
+		want := g.TotalWeight(graph.VertexID(v)) / totalStrength
+		got := float64(res.Visits[v]) / total
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	// 150k visits over 100 vertices: relative error per vertex should stay
+	// within ~15%.
+	if worst > 0.2 {
+		t.Fatalf("worst relative deviation from weighted stationary: %v", worst)
+	}
+}
+
+// TestNode2vecDegeneratesToUnbiasedWalk: with p=q=1, node2vec is exactly
+// the unbiased first-order walk, so its stationary distribution must also
+// be degree-proportional — validated through the full second-order query
+// machinery.
+func TestNode2vecDegeneratesToUnbiasedWalk(t *testing.T) {
+	g := gen.UniformDegree(100, 8, 53)
+	alg := &Algorithm{
+		Name:     "n2v-uniform",
+		MaxSteps: 200,
+		EdgeDynamicComp: func(w *Walker, e graph.Edge, result uint64, hasResult bool) float64 {
+			return 1
+		},
+		UpperBound: func(*graph.Graph, graph.VertexID) float64 { return 1 },
+		PostQuery: func(w *Walker, e graph.Edge) (graph.VertexID, uint64, bool) {
+			if w.Step == 0 {
+				return 0, 0, false
+			}
+			return w.Prev, uint64(e.Dst), true // pointless but exercised
+		},
+	}
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   alg,
+		NumWalkers:  300,
+		NumNodes:    4,
+		Seed:        57,
+		CountVisits: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Queries == 0 {
+		t.Fatal("query machinery not exercised")
+	}
+	total := float64(res.Counters.Steps)
+	twoE := float64(g.NumEdges())
+	var worst float64
+	for v := 0; v < g.NumVertices(); v++ {
+		want := float64(g.Degree(graph.VertexID(v))) / twoE
+		got := float64(res.Visits[v]) / total
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.25 {
+		t.Fatalf("worst relative deviation %v from degree-proportional stationary", worst)
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements the KnightKing engine: a walker-centric,
+// bulk-synchronous distributed random walk executor built around rejection
+// sampling (paper §4–6). Users describe an algorithm with an Algorithm
+// value (the Go rendering of the paper's edgeStaticComp / edgeDynamicComp /
+// dynamicCompUpperBound / dynamicCompLowerBound / postStateQuery API,
+// Figure 4) and Run executes it over a simulated multi-node cluster.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+)
+
+// Walker is the unit of computation: an independent agent that repeatedly
+// samples an out-edge of its current vertex and moves. Walkers migrate
+// between nodes with their full state, including their private RNG stream,
+// which makes every walk deterministic in (seed, walker ID) regardless of
+// cluster size or scheduling.
+type Walker struct {
+	// ID is the dense walker index in [0, NumWalkers).
+	ID int64
+	// Cur is the current residing vertex.
+	Cur graph.VertexID
+	// Prev is the previously visited vertex (last(w)); valid when Step > 0.
+	Prev graph.VertexID
+	// Step counts moves taken so far.
+	Step int32
+	// Tag is algorithm-defined walker state (e.g. the meta-path scheme
+	// index assigned to this walker).
+	Tag int32
+	// Origin is the walker's start vertex, the target of restart
+	// teleports (random walk with restart).
+	Origin graph.VertexID
+	// R is the walker's private random stream.
+	R rng.Rand
+
+	// Path holds the visited vertices (including the start) when path
+	// recording is enabled.
+	Path []graph.VertexID
+
+	// History holds the walker's most recent previously-visited vertices
+	// (most recent last, excluding Cur), maintained by the engine when the
+	// algorithm sets HistorySize > 0 and carried across migrations.
+	History []graph.VertexID
+
+	// sampling marks a walker that has passed this step's termination
+	// checks but not yet moved (mid-step across supersteps, possible only
+	// for higher-order walks awaiting or retrying after remote queries).
+	sampling bool
+	// awaiting marks a walker blocked on a remote state query.
+	awaiting bool
+	// pendingEdge / pendingY hold the dart under evaluation while a remote
+	// query is outstanding.
+	pendingEdge int32
+	pendingY    float64
+}
+
+// rngWords gives codec access to the walker RNG state.
+func rngWords(r *rng.Rand) *[4]uint64 { return r.State() }
+
+const walkerFixedLen = 8 + 4 + 4 + 4 + 4 + 4 + 32 + 1 + 1 + 2 // ID,Cur,Prev,Step,Tag,Origin,R,flags,histLen,pathLen
+
+// InHistory reports whether v is among the walker's tracked recent
+// vertices (requires Algorithm.HistorySize > 0 to be maintained).
+func (w *Walker) InHistory(v graph.VertexID) bool {
+	for _, h := range w.History {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeWalker appends w's wire form to buf and returns the extended slice.
+// Only fields meaningful across a migration are carried: a walker never
+// migrates while awaiting a query, so the pending dart is not encoded.
+func encodeWalker(buf []byte, w *Walker) []byte {
+	var tmp [walkerFixedLen]byte
+	binary.LittleEndian.PutUint64(tmp[0:], uint64(w.ID))
+	binary.LittleEndian.PutUint32(tmp[8:], w.Cur)
+	binary.LittleEndian.PutUint32(tmp[12:], w.Prev)
+	binary.LittleEndian.PutUint32(tmp[16:], uint32(w.Step))
+	binary.LittleEndian.PutUint32(tmp[20:], uint32(w.Tag))
+	binary.LittleEndian.PutUint32(tmp[24:], w.Origin)
+	st := rngWords(&w.R)
+	for i, word := range st {
+		binary.LittleEndian.PutUint64(tmp[28+8*i:], word)
+	}
+	var flags byte
+	if w.sampling {
+		flags |= 1
+	}
+	tmp[60] = flags
+	if len(w.History) > 255 {
+		panic(fmt.Sprintf("core: history length %d exceeds wire limit", len(w.History)))
+	}
+	tmp[61] = byte(len(w.History))
+	if len(w.Path) > 1<<16-1 {
+		panic(fmt.Sprintf("core: path length %d exceeds wire limit", len(w.Path)))
+	}
+	binary.LittleEndian.PutUint16(tmp[62:], uint16(len(w.Path)))
+	buf = append(buf, tmp[:]...)
+	for _, v := range w.History {
+		var vb [4]byte
+		binary.LittleEndian.PutUint32(vb[:], v)
+		buf = append(buf, vb[:]...)
+	}
+	for _, v := range w.Path {
+		var vb [4]byte
+		binary.LittleEndian.PutUint32(vb[:], v)
+		buf = append(buf, vb[:]...)
+	}
+	return buf
+}
+
+// decodeWalker reads one walker from buf, returning the walker and the
+// remaining bytes.
+func decodeWalker(buf []byte) (*Walker, []byte, error) {
+	if len(buf) < walkerFixedLen {
+		return nil, nil, fmt.Errorf("core: truncated walker record (%d bytes)", len(buf))
+	}
+	w := &Walker{
+		ID:     int64(binary.LittleEndian.Uint64(buf[0:])),
+		Cur:    binary.LittleEndian.Uint32(buf[8:]),
+		Prev:   binary.LittleEndian.Uint32(buf[12:]),
+		Step:   int32(binary.LittleEndian.Uint32(buf[16:])),
+		Tag:    int32(binary.LittleEndian.Uint32(buf[20:])),
+		Origin: binary.LittleEndian.Uint32(buf[24:]),
+	}
+	st := rngWords(&w.R)
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(buf[28+8*i:])
+	}
+	if buf[60]&^byte(1) != 0 {
+		return nil, nil, fmt.Errorf("core: unknown walker flag bits %#x", buf[60])
+	}
+	w.sampling = buf[60]&1 != 0
+	histLen := int(buf[61])
+	pathLen := int(binary.LittleEndian.Uint16(buf[62:]))
+	buf = buf[walkerFixedLen:]
+	if histLen > 0 {
+		if len(buf) < 4*histLen {
+			return nil, nil, fmt.Errorf("core: truncated walker history")
+		}
+		w.History = make([]graph.VertexID, histLen)
+		for i := 0; i < histLen; i++ {
+			w.History[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+		buf = buf[4*histLen:]
+	}
+	if pathLen > 0 {
+		if len(buf) < 4*pathLen {
+			return nil, nil, fmt.Errorf("core: truncated walker path")
+		}
+		w.Path = make([]graph.VertexID, pathLen)
+		for i := 0; i < pathLen; i++ {
+			w.Path[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+		buf = buf[4*pathLen:]
+	}
+	return w, buf, nil
+}

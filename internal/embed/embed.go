@@ -1,0 +1,220 @@
+// Package embed implements SkipGram with negative sampling (SGNS), the
+// embedding stage that DeepWalk and node2vec feed their walk corpora into
+// (Mikolov et al., cited by the paper). The paper scopes its contribution
+// to the walk stage — and notes a Spark node2vec spends 98.8% of its time
+// there — but a usable walk engine needs the consumer too, so this package
+// completes the pipeline: walks in, vertex vectors out.
+//
+// Negative samples are drawn from the unigram^power distribution via this
+// repository's own alias table, the same structure the engine uses for
+// static edge sampling.
+package embed
+
+import (
+	"fmt"
+	"math"
+
+	"knightking/internal/graph"
+	"knightking/internal/rng"
+	"knightking/internal/sampling"
+	"knightking/internal/trace"
+)
+
+// Config controls SGNS training.
+type Config struct {
+	// Dim is the embedding dimensionality (default 64).
+	Dim int
+	// Window is the SkipGram context window (default 5).
+	Window int
+	// Negatives is the number of negative samples per positive pair
+	// (default 5).
+	Negatives int
+	// Epochs is the number of passes over the corpus (default 3).
+	Epochs int
+	// LearningRate is the initial SGD step size, linearly decayed to
+	// LearningRate/20 over training (default 0.025).
+	LearningRate float64
+	// UnigramPower shapes the negative-sampling distribution freq^power
+	// (default 0.75, the word2vec standard).
+	UnigramPower float64
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+func (c Config) defaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	if c.UnigramPower <= 0 {
+		c.UnigramPower = 0.75
+	}
+	return c
+}
+
+// Model holds trained vertex embeddings.
+type Model struct {
+	dim int
+	// in is the input (center) embedding matrix, the one consumers use.
+	in []float32
+	// out is the output (context) matrix, kept for incremental training.
+	out  []float32
+	nVtx int
+}
+
+// Train fits SGNS embeddings to the corpus.
+func Train(c *trace.Corpus, cfg Config) (*Model, error) {
+	cfg = cfg.defaults()
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("embed: empty corpus")
+	}
+	nVtx := int(c.MaxVertex()) + 1
+	freq := c.Frequencies(nVtx)
+
+	// Negative-sampling distribution: freq^power over observed vertices.
+	negWeights := make([]float32, nVtx)
+	for v, f := range freq {
+		if f > 0 {
+			negWeights[v] = float32(math.Pow(float64(f), cfg.UnigramPower))
+		}
+	}
+	negSampler, err := sampling.NewAlias(negWeights)
+	if err != nil {
+		return nil, fmt.Errorf("embed: negative sampler: %w", err)
+	}
+
+	m := &Model{dim: cfg.Dim, nVtx: nVtx}
+	m.in = make([]float32, nVtx*cfg.Dim)
+	m.out = make([]float32, nVtx*cfg.Dim)
+	r := rng.New(cfg.Seed)
+	for i := range m.in {
+		m.in[i] = (float32(r.Float64()) - 0.5) / float32(cfg.Dim)
+	}
+
+	totalPairs := c.CountPairs(cfg.Window) * int64(cfg.Epochs)
+	if totalPairs == 0 {
+		return nil, fmt.Errorf("embed: corpus has no training pairs (walks too short?)")
+	}
+	var seen int64
+	grad := make([]float32, cfg.Dim)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		c.Pairs(cfg.Window, func(center, context graph.VertexID) bool {
+			// Linear learning-rate decay, floored at 5%.
+			frac := float64(seen) / float64(totalPairs)
+			lr := float32(cfg.LearningRate * math.Max(0.05, 1-frac))
+			seen++
+
+			ci := int(center) * cfg.Dim
+			cin := m.in[ci : ci+cfg.Dim]
+			for i := range grad {
+				grad[i] = 0
+			}
+			// One positive plus k negative targets.
+			m.update(cin, int(context), 1, lr, grad)
+			for k := 0; k < cfg.Negatives; k++ {
+				neg := negSampler.Sample(r)
+				if neg == int(context) {
+					continue
+				}
+				m.update(cin, neg, 0, lr, grad)
+			}
+			for i := range cin {
+				cin[i] += grad[i]
+			}
+			return true
+		})
+	}
+	return m, nil
+}
+
+// update applies one (center, target, label) SGNS step: accumulates the
+// center gradient into grad and updates the target's output vector.
+func (m *Model) update(cin []float32, target int, label float32, lr float32, grad []float32) {
+	ti := target * m.dim
+	tout := m.out[ti : ti+m.dim]
+	var dot float32
+	for i := range cin {
+		dot += cin[i] * tout[i]
+	}
+	g := lr * (label - sigmoid(dot))
+	for i := range cin {
+		grad[i] += g * tout[i]
+		tout[i] += g * cin[i]
+	}
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// NumVertices returns the vocabulary size (max vertex + 1).
+func (m *Model) NumVertices() int { return m.nVtx }
+
+// Vector returns v's embedding (aliased; treat as read-only).
+func (m *Model) Vector(v graph.VertexID) []float32 {
+	i := int(v) * m.dim
+	return m.in[i : i+m.dim]
+}
+
+// Similarity returns the cosine similarity of two vertices' embeddings.
+func (m *Model) Similarity(a, b graph.VertexID) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	var dot, na, nb float64
+	for i := range va {
+		dot += float64(va[i]) * float64(vb[i])
+		na += float64(va[i]) * float64(va[i])
+		nb += float64(vb[i]) * float64(vb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	Vertex     graph.VertexID
+	Similarity float64
+}
+
+// MostSimilar returns the k vertices most cosine-similar to v (excluding
+// v itself), by exhaustive scan.
+func (m *Model) MostSimilar(v graph.VertexID, k int) []Neighbor {
+	var out []Neighbor
+	for u := 0; u < m.nVtx; u++ {
+		if graph.VertexID(u) == v {
+			continue
+		}
+		s := m.Similarity(v, graph.VertexID(u))
+		out = append(out, Neighbor{Vertex: graph.VertexID(u), Similarity: s})
+	}
+	// Partial selection sort: k is small.
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Similarity > out[best].Similarity {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out[:k]
+}

@@ -1,0 +1,150 @@
+package embed
+
+import (
+	"testing"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/graph"
+	"knightking/internal/trace"
+)
+
+// barbell builds two cliques of size k joined by a single bridge edge.
+func barbell(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k).SetUndirected(true).SetDedup(true)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			b.AddEdge(graph.VertexID(k+i), graph.VertexID(k+j))
+		}
+	}
+	b.AddEdge(0, graph.VertexID(k))
+	return b.Build()
+}
+
+// walkCorpus runs DeepWalk and returns the corpus.
+func walkCorpus(t *testing.T, g *graph.Graph, length, walkersPerVertex int) *trace.Corpus {
+	t.Helper()
+	res, err := core.Run(core.Config{
+		Graph:       g,
+		Algorithm:   alg.DeepWalk(length, false),
+		NumWalkers:  g.NumVertices() * walkersPerVertex,
+		Seed:        7,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.New(res.Paths)
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(trace.New(nil), Config{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	short := trace.New([][]graph.VertexID{{1}})
+	if _, err := Train(short, Config{}); err == nil {
+		t.Fatal("pairless corpus accepted")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	c := trace.New([][]graph.VertexID{{0, 1, 2, 3}, {3, 2, 1, 0}})
+	cfg := Config{Dim: 8, Epochs: 2, Seed: 5}
+	a, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.VertexID(0); v < 4; v++ {
+		va, vb := a.Vector(v), b.Vector(v)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("vertex %d dim %d differs across same-seed runs", v, i)
+			}
+		}
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	c := trace.New([][]graph.VertexID{{0, 1, 2}})
+	m, err := Train(c, Config{Dim: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 16 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	if m.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d", m.NumVertices())
+	}
+	if len(m.Vector(1)) != 16 {
+		t.Fatalf("vector length %d", len(m.Vector(1)))
+	}
+	if s := m.Similarity(1, 1); s < 0.999 {
+		t.Fatalf("self-similarity %v", s)
+	}
+}
+
+func TestEmbeddingsSeparateCommunities(t *testing.T) {
+	// The classic sanity check: on a barbell graph, vertices within a
+	// clique must embed closer together than across the bridge.
+	const k = 8
+	g := barbell(k)
+	corpus := walkCorpus(t, g, 20, 10)
+	m, err := Train(corpus, Config{Dim: 32, Window: 4, Epochs: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i < j {
+				intra += m.Similarity(graph.VertexID(i), graph.VertexID(j))
+				intra += m.Similarity(graph.VertexID(k+i), graph.VertexID(k+j))
+				nIntra += 2
+			}
+			inter += m.Similarity(graph.VertexID(i), graph.VertexID(k+j))
+			nInter++
+		}
+	}
+	avgIntra := intra / float64(nIntra)
+	avgInter := inter / float64(nInter)
+	if avgIntra <= avgInter+0.1 {
+		t.Fatalf("communities not separated: intra %v vs inter %v", avgIntra, avgInter)
+	}
+}
+
+func TestMostSimilarPrefersOwnClique(t *testing.T) {
+	const k = 8
+	g := barbell(k)
+	corpus := walkCorpus(t, g, 20, 10)
+	m, err := Train(corpus, Config{Dim: 32, Window: 4, Epochs: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query a vertex deep inside the first clique (not the bridge vertex).
+	nbrs := m.MostSimilar(3, 5)
+	if len(nbrs) != 5 {
+		t.Fatalf("got %d neighbors", len(nbrs))
+	}
+	own := 0
+	for _, nb := range nbrs {
+		if int(nb.Vertex) < k {
+			own++
+		}
+	}
+	if own < 4 {
+		t.Fatalf("only %d of 5 nearest neighbors in own clique: %v", own, nbrs)
+	}
+	// Results must be sorted by similarity.
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i].Similarity > nbrs[i-1].Similarity {
+			t.Fatal("MostSimilar not sorted")
+		}
+	}
+}

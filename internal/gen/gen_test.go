@@ -1,0 +1,353 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"knightking/internal/graph"
+)
+
+func TestUniformDegreeShape(t *testing.T) {
+	g := UniformDegree(1000, 10, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	s := g.Stats()
+	if math.Abs(s.Mean-10) > 0.5 {
+		t.Fatalf("mean degree = %v, want ~10", s.Mean)
+	}
+	// Uniform-degree graphs have tiny variance compared to the mean.
+	if s.Variance > 2 {
+		t.Fatalf("variance = %v, want near 0", s.Variance)
+	}
+}
+
+func TestUniformDegreeDeterministic(t *testing.T) {
+	a := UniformDegree(200, 6, 42)
+	b := UniformDegree(200, 6, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(graph.VertexID(v)), b.Neighbors(graph.VertexID(v))
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+	c := UniformDegree(200, 6, 43)
+	if c.NumEdges() == a.NumEdges() {
+		// Edge counts can coincide; compare adjacency of vertex 0 too.
+		same := true
+		na, nc := a.Neighbors(0), c.Neighbors(0)
+		if len(na) == len(nc) {
+			for i := range na {
+				if na[i] != nc[i] {
+					same = false
+					break
+				}
+			}
+		} else {
+			same = false
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestUniformDegreeSymmetric(t *testing.T) {
+	g := UniformDegree(300, 8, 3)
+	assertSymmetric(t, g)
+}
+
+func TestTruncatedPowerLawSkewGrowsWithCap(t *testing.T) {
+	low := TruncatedPowerLaw(5000, 5, 100, 2.0, 7)
+	high := TruncatedPowerLaw(5000, 5, 6400, 2.0, 7)
+	sLow, sHigh := low.Stats(), high.Stats()
+	if sHigh.Variance <= sLow.Variance {
+		t.Fatalf("variance did not grow with cap: %v vs %v", sLow.Variance, sHigh.Variance)
+	}
+	// The paper's point: variance grows far faster than the mean.
+	meanRatio := sHigh.Mean / sLow.Mean
+	varRatio := sHigh.Variance / sLow.Variance
+	if varRatio < 2*meanRatio {
+		t.Fatalf("variance ratio %v not >> mean ratio %v", varRatio, meanRatio)
+	}
+	if err := high.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotspotDegrees(t *testing.T) {
+	const n, d, hot, hotDeg = 2000, 10, 3, 500
+	g := Hotspot(n, d, hot, hotDeg, 5)
+	if g.NumVertices() != n+hot {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	for h := 0; h < hot; h++ {
+		hub := graph.VertexID(n + h)
+		if got := g.Degree(hub); got != hotDeg {
+			t.Fatalf("hub %d degree = %d, want %d", h, got, hotDeg)
+		}
+	}
+	// Base vertices keep roughly their uniform degree plus a few hub edges.
+	sum := 0
+	for v := 0; v < n; v++ {
+		sum += g.Degree(graph.VertexID(v))
+	}
+	mean := float64(sum) / n
+	want := float64(d) + float64(hot*hotDeg)/float64(n)
+	if math.Abs(mean-want) > 1 {
+		t.Fatalf("base mean degree = %v, want ~%v", mean, want)
+	}
+	assertSymmetric(t, g)
+}
+
+func TestHotspotZeroHubsMatchesUniform(t *testing.T) {
+	g := Hotspot(500, 8, 0, 0, 9)
+	if g.NumVertices() != 500 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	s := g.Stats()
+	if math.Abs(s.Mean-8) > 0.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 11)
+	// Each of the 5000 draws is stored twice, minus deduplicated repeats.
+	if g.NumEdges() > 10000 || g.NumEdges() < 9500 {
+		t.Fatalf("|E| = %d, want ~10000 (doubled, deduped)", g.NumEdges())
+	}
+	assertSimple(t, g)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, nb := range g.Neighbors(graph.VertexID(v)) {
+			if nb == graph.VertexID(v) {
+				t.Fatal("self loop present")
+			}
+		}
+	}
+	assertSymmetric(t, g)
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(12, 8, 0.57, 0.19, 0.19, 13)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4096 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	s := g.Stats()
+	// R-MAT should be heavy-tailed: max degree far above the mean.
+	if float64(s.Max) < 5*s.Mean {
+		t.Fatalf("R-MAT not skewed: max %d vs mean %v", s.Max, s.Mean)
+	}
+	assertSymmetric(t, g)
+}
+
+func TestFixtures(t *testing.T) {
+	ring := Ring(10, 0)
+	if ring.NumEdges() != 20 {
+		t.Fatalf("ring |E| = %d", ring.NumEdges())
+	}
+	for v := 0; v < 10; v++ {
+		if ring.Degree(graph.VertexID(v)) != 2 {
+			t.Fatalf("ring degree of %d = %d", v, ring.Degree(graph.VertexID(v)))
+		}
+	}
+	k := Complete(6)
+	if k.NumEdges() != 30 {
+		t.Fatalf("K6 |E| = %d", k.NumEdges())
+	}
+	star := Star(7)
+	if star.Degree(0) != 6 {
+		t.Fatalf("star center degree = %d", star.Degree(0))
+	}
+	for v := 1; v < 7; v++ {
+		if star.Degree(graph.VertexID(v)) != 1 {
+			t.Fatalf("star leaf degree = %d", star.Degree(graph.VertexID(v)))
+		}
+	}
+}
+
+func TestWithUniformWeightsRangeAndSymmetry(t *testing.T) {
+	g := WithUniformWeights(UniformDegree(500, 10, 17), 1, 5, 99)
+	if !g.Weighted() {
+		t.Fatal("graph not weighted")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		src := graph.VertexID(v)
+		for i := 0; i < g.Degree(src); i++ {
+			e := g.EdgeAt(src, i)
+			if e.Weight < 1 || e.Weight >= 5 {
+				t.Fatalf("weight %v out of [1,5)", e.Weight)
+			}
+			// Symmetric: reverse edge has the same weight.
+			back := findEdgeWeight(g, e.Dst, src)
+			if back != e.Weight {
+				t.Fatalf("asymmetric weight %d-%d: %v vs %v", src, e.Dst, e.Weight, back)
+			}
+		}
+	}
+}
+
+func TestWithPowerLawWeightsSkew(t *testing.T) {
+	g := WithPowerLawWeights(UniformDegree(2000, 10, 19), 100, 2.0, 7)
+	light, heavy := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Weights(graph.VertexID(v)) {
+			if w < 1 || w > 100 {
+				t.Fatalf("weight %v out of [1,100]", w)
+			}
+			if w < 2 {
+				light++
+			}
+			if w > 50 {
+				heavy++
+			}
+		}
+	}
+	if light < heavy*5 {
+		t.Fatalf("power-law weights not skewed: %d light vs %d heavy", light, heavy)
+	}
+	if heavy == 0 {
+		t.Fatal("no heavy edges at all; tail missing")
+	}
+}
+
+func TestWithTypes(t *testing.T) {
+	const numTypes = 5
+	g := WithTypes(UniformDegree(300, 8, 23), numTypes, 31)
+	if !g.Typed() {
+		t.Fatal("graph not typed")
+	}
+	seen := make(map[int32]bool)
+	for v := 0; v < g.NumVertices(); v++ {
+		src := graph.VertexID(v)
+		for i, typ := range g.Types(src) {
+			if typ < 0 || typ >= numTypes {
+				t.Fatalf("type %d out of range", typ)
+			}
+			seen[typ] = true
+			// Symmetric type on the reverse direction.
+			dst := g.Neighbors(src)[i]
+			if back := findEdgeType(g, dst, src); back != typ {
+				t.Fatalf("asymmetric type on %d-%d", src, dst)
+			}
+		}
+	}
+	if len(seen) != numTypes {
+		t.Fatalf("only %d of %d types used", len(seen), numTypes)
+	}
+}
+
+func TestGeneratorsProduceValidGraphs(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"uniform":  UniformDegree(100, 4, 1),
+		"powerlaw": TruncatedPowerLaw(100, 2, 50, 2.1, 2),
+		"hotspot":  Hotspot(100, 4, 2, 30, 3),
+		"er":       ErdosRenyi(100, 300, 4),
+		"rmat":     RMAT(7, 4, 0.57, 0.19, 0.19, 5),
+		"ring":     Ring(8, 0),
+		"complete": Complete(5),
+		"star":     Star(9),
+	}
+	for name, g := range cases {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// assertSimple checks that no vertex has two edges to the same destination.
+func assertSimple(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(graph.VertexID(v))
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] == adj[i] {
+				t.Fatalf("parallel edge %d->%d survived dedup", v, adj[i])
+			}
+		}
+	}
+}
+
+// assertSymmetric checks that every stored edge has its reverse stored too.
+func assertSymmetric(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		src := graph.VertexID(v)
+		for _, dst := range g.Neighbors(src) {
+			if !g.HasEdge(dst, src) {
+				t.Fatalf("edge %d->%d has no reverse", src, dst)
+			}
+		}
+	}
+}
+
+func findEdgeWeight(g *graph.Graph, u, v graph.VertexID) float32 {
+	adj := g.Neighbors(u)
+	for i, nb := range adj {
+		if nb == v {
+			return g.Weights(u)[i]
+		}
+	}
+	return -1
+}
+
+func findEdgeType(g *graph.Graph, u, v graph.VertexID) int32 {
+	adj := g.Neighbors(u)
+	for i, nb := range adj {
+		if nb == v {
+			return g.Types(u)[i]
+		}
+	}
+	return -1
+}
+
+func TestPlantedPartitionStructure(t *testing.T) {
+	const communities, perComm = 4, 30
+	g := PlantedPartition(communities, perComm, 6, 1, 27)
+	if g.NumVertices() != communities*perComm {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSymmetric(t, g)
+	intra, inter := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, nb := range g.Neighbors(graph.VertexID(v)) {
+			if int(nb)/perComm == v/perComm {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	if intra < 3*inter {
+		t.Fatalf("communities not dense: %d intra vs %d inter edges", intra, inter)
+	}
+	if inter == 0 {
+		t.Fatal("no inter-community edges; graph disconnected by construction")
+	}
+}
+
+func TestPlantedPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid arguments accepted")
+		}
+	}()
+	PlantedPartition(0, 10, 5, 1, 1)
+}

@@ -1,0 +1,93 @@
+package graph
+
+// ConnectedComponents labels the weakly connected components of g (edges
+// are followed in their stored direction plus, implicitly for undirected
+// graphs, both ways). It returns one label per vertex in [0, count) and
+// the component count. Labels are assigned in order of each component's
+// smallest vertex.
+func ConnectedComponents(g *Graph) (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	// For directed graphs, weak connectivity needs reverse edges; build a
+	// reverse adjacency index once.
+	rev := reverseAdjacency(g)
+	var queue []VertexID
+	for v := 0; v < n; v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		label := int32(count)
+		count++
+		labels[v] = label
+		queue = append(queue[:0], VertexID(v))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, nb := range g.Neighbors(u) {
+				if labels[nb] < 0 {
+					labels[nb] = label
+					queue = append(queue, nb)
+				}
+			}
+			for _, nb := range rev[u] {
+				if labels[nb] < 0 {
+					labels[nb] = label
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertices of g's largest weakly connected
+// component, sorted by ID.
+func LargestComponent(g *Graph) []VertexID {
+	labels, count := ConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for l, s := range sizes {
+		if s > sizes[best] {
+			best = l
+		}
+	}
+	out := make([]VertexID, 0, sizes[best])
+	for v, l := range labels {
+		if l == int32(best) {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// reverseAdjacency builds per-vertex in-neighbor lists.
+func reverseAdjacency(g *Graph) [][]VertexID {
+	n := g.NumVertices()
+	counts := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, nb := range g.Neighbors(VertexID(v)) {
+			counts[nb]++
+		}
+	}
+	rev := make([][]VertexID, n)
+	for v := range rev {
+		if counts[v] > 0 {
+			rev[v] = make([]VertexID, 0, counts[v])
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, nb := range g.Neighbors(VertexID(v)) {
+			rev[nb] = append(rev[nb], VertexID(v))
+		}
+	}
+	return rev
+}

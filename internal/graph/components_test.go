@@ -1,0 +1,78 @@
+package graph
+
+import "testing"
+
+func TestConnectedComponentsSingle(t *testing.T) {
+	b := NewBuilder(4).SetUndirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	labels, count := ConnectedComponents(b.Build())
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("vertex %d label %d", v, l)
+		}
+	}
+}
+
+func TestConnectedComponentsMultiple(t *testing.T) {
+	b := NewBuilder(6).SetUndirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	// 4 and 5 isolated.
+	labels, count := ConnectedComponents(b.Build())
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] {
+		t.Fatalf("component members split: %v", labels)
+	}
+	if labels[0] == labels[2] || labels[4] == labels[5] {
+		t.Fatalf("distinct components merged: %v", labels)
+	}
+	// Labels ordered by smallest member.
+	if labels[0] != 0 || labels[2] != 1 || labels[4] != 2 || labels[5] != 3 {
+		t.Fatalf("label order: %v", labels)
+	}
+}
+
+func TestConnectedComponentsDirectedWeak(t *testing.T) {
+	// Directed chain 0->1->2: weakly connected even without reverse edges.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	_, count := ConnectedComponents(b.Build())
+	if count != 1 {
+		t.Fatalf("weak connectivity ignored reverse reach: %d components", count)
+	}
+	// And the reverse-only view: 2 has only in-edges; starting the BFS at
+	// 2 must still join the component.
+	b2 := NewBuilder(3)
+	b2.AddEdge(2, 1)
+	b2.AddEdge(1, 0)
+	_, count2 := ConnectedComponents(b2.Build())
+	if count2 != 1 {
+		t.Fatalf("reverse adjacency broken: %d components", count2)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(7).SetUndirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(4, 5)
+	lc := LargestComponent(b.Build())
+	if len(lc) != 3 || lc[0] != 0 || lc[1] != 1 || lc[2] != 2 {
+		t.Fatalf("largest component %v", lc)
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	if lc := LargestComponent(NewBuilder(0).Build()); lc != nil {
+		t.Fatalf("empty graph component %v", lc)
+	}
+}

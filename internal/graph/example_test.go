@@ -1,0 +1,59 @@
+package graph_test
+
+import (
+	"fmt"
+	"strings"
+
+	"knightking/internal/graph"
+)
+
+func ExampleBuilder() {
+	b := graph.NewBuilder(3).SetUndirected(true)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 1.0)
+	g := b.Build()
+	fmt.Println("vertices:", g.NumVertices())
+	fmt.Println("stored directed edges:", g.NumEdges())
+	fmt.Println("neighbors of 1:", g.Neighbors(1))
+	fmt.Println("0-1 weight:", g.EdgeWeight(0, 0))
+	// Output:
+	// vertices: 3
+	// stored directed edges: 4
+	// neighbors of 1: [0 2]
+	// 0-1 weight: 2.5
+}
+
+func ExampleReadEdgeList() {
+	input := "# a weighted triangle\n0 1 1.5\n1 2 2.0\n2 0 0.5\n"
+	g, err := graph.ReadEdgeList(strings.NewReader(input), false, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("|V| =", g.NumVertices(), "|E| =", g.NumEdges())
+	fmt.Println("weighted:", g.Weighted())
+	// Output:
+	// |V| = 3 |E| = 3
+	// weighted: true
+}
+
+func ExampleGraph_HasEdge() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.Build()
+	fmt.Println(g.HasEdge(0, 2), g.HasEdge(0, 1), g.HasEdge(2, 0))
+	// Output:
+	// true false false
+}
+
+func ExampleConnectedComponents() {
+	b := graph.NewBuilder(5).SetUndirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(3, 4)
+	labels, count := graph.ConnectedComponents(b.Build())
+	fmt.Println("components:", count)
+	fmt.Println("labels:", labels)
+	// Output:
+	// components: 3
+	// labels: [0 0 1 2 2]
+}

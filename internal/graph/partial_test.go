@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"knightking/internal/rng"
+)
+
+// buildWeightedTyped builds a random weighted+typed graph and its binary
+// serialization.
+func buildWeightedTyped(t *testing.T, n, edges int) (*Graph, []byte) {
+	t.Helper()
+	r := rng.New(7)
+	b := NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		b.AddTypedEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)), float32(r.Range(1, 5)), int32(r.Intn(3)))
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return g, buf.Bytes()
+}
+
+func TestReadBinaryDegrees(t *testing.T) {
+	g, data := buildWeightedTyped(t, 50, 300)
+	h, err := ReadBinaryDegrees(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices != 50 || h.NumEdges != g.NumEdges() {
+		t.Fatalf("header %+v", h)
+	}
+	if !h.Weighted || !h.Typed {
+		t.Fatal("flags lost")
+	}
+	for v := 0; v < 50; v++ {
+		if h.Degree(VertexID(v)) != g.Degree(VertexID(v)) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestReadBinarySliceMatchesFull(t *testing.T) {
+	g, data := buildWeightedTyped(t, 60, 400)
+	for _, r := range [][2]VertexID{{0, 20}, {20, 45}, {45, 60}, {0, 60}, {30, 30}} {
+		lo, hi := r[0], r[1]
+		part, err := ReadBinarySlice(bytes.NewReader(data), lo, hi)
+		if err != nil {
+			t.Fatalf("slice [%d,%d): %v", lo, hi, err)
+		}
+		if !part.Partial() {
+			t.Fatal("slice not marked partial")
+		}
+		plo, phi := part.OwnedRange()
+		if plo != lo || phi != hi {
+			t.Fatalf("owned range [%d,%d), want [%d,%d)", plo, phi, lo, hi)
+		}
+		for v := lo; v < hi; v++ {
+			if part.Degree(v) != g.Degree(v) {
+				t.Fatalf("degree mismatch at %d", v)
+			}
+			for i := 0; i < g.Degree(v); i++ {
+				if part.EdgeAt(v, i) != g.EdgeAt(v, i) {
+					t.Fatalf("edge mismatch at %d[%d]", v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadBinarySliceUnweighted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(4, 0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	part, err := ReadBinarySlice(bytes.NewReader(buf.Bytes()), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Degree(1) != 2 || part.Weighted() || part.Typed() {
+		t.Fatalf("slice wrong: deg=%d", part.Degree(1))
+	}
+}
+
+func TestReadBinarySliceBadRange(t *testing.T) {
+	_, data := buildWeightedTyped(t, 10, 20)
+	if _, err := ReadBinarySlice(bytes.NewReader(data), 5, 99); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+}
+
+func TestSubgraphMatchesOriginal(t *testing.T) {
+	g, _ := buildWeightedTyped(t, 40, 200)
+	part := Subgraph(g, 10, 25)
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := VertexID(10); v < 25; v++ {
+		if part.Degree(v) != g.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := 0; i < g.Degree(v); i++ {
+			if part.EdgeAt(v, i) != g.EdgeAt(v, i) {
+				t.Fatalf("edge mismatch at %d[%d]", v, i)
+			}
+		}
+	}
+	if part.NumVertices() != g.NumVertices() {
+		t.Fatal("vertex ID space shrank")
+	}
+}
+
+func TestPartialAccessOutsideRangePanics(t *testing.T) {
+	g, _ := buildWeightedTyped(t, 30, 100)
+	part := Subgraph(g, 5, 15)
+	for _, f := range []func(){
+		func() { part.Degree(2) },
+		func() { part.Neighbors(20) },
+		func() { part.EdgeAt(29, 0) },
+		func() { part.Weights(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unowned access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFullGraphOwnsEverything(t *testing.T) {
+	g, _ := buildWeightedTyped(t, 10, 30)
+	lo, hi := g.OwnedRange()
+	if lo != 0 || int(hi) != g.NumVertices() || g.Partial() {
+		t.Fatalf("full graph reports [%d,%d) partial=%v", lo, hi, g.Partial())
+	}
+}

@@ -1,0 +1,240 @@
+// Package rng provides fast, seedable pseudo-random number generators used
+// throughout the engine. All randomized components in the repository draw
+// from this package so that an entire run is reproducible from a single
+// 64-bit seed.
+//
+// The core generator is xoshiro256**, seeded through splitmix64 as its
+// authors recommend. It is not safe for concurrent use; the engine gives
+// each worker its own stream via NewStream, which derives statistically
+// independent generators from a base seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances the given state and returns the next value of the
+// splitmix64 sequence. It is used for seeding and for deriving streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not usable; construct
+// with New or NewStream.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds give
+// uncorrelated sequences.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// NewStream returns the id-th derived generator of a family identified by
+// seed. Streams with different ids are statistically independent, which
+// lets many workers share one logical seed without sharing state.
+func NewStream(seed uint64, id uint64) *Rand {
+	mix := seed
+	_ = splitmix64(&mix)
+	mix ^= (id + 1) * 0x9e3779b97f4a7c15
+	return New(splitmix64(&mix))
+}
+
+// Seed resets the generator state from a single 64-bit seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not be seeded with an all-zero state; splitmix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
+// State exposes the raw generator state, letting callers serialize a
+// generator (e.g. a walker migrating between nodes) and resume it exactly.
+func (r *Rand) State() *[4]uint64 { return &r.s }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's nearly
+// divisionless method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	// 128-bit multiply-high rejection method.
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	return bits.Mul64(a, b)
+}
+
+// Range returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *Rand) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Range called with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with rate lambda.
+func (r *Rand) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp requires lambda > 0")
+	}
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// PowerLaw returns an integer degree sampled from a truncated discrete
+// power-law distribution with density proportional to k^(-alpha) on
+// [min, max]. It uses inverse transform sampling on the continuous
+// approximation, which is accurate enough for workload generation.
+func (r *Rand) PowerLaw(min, max int, alpha float64) int {
+	if min < 1 || max < min {
+		panic("rng: PowerLaw requires 1 <= min <= max")
+	}
+	if min == max {
+		return min
+	}
+	if alpha == 1 {
+		// p(k) ~ 1/k; CDF ~ log.
+		lo, hi := float64(min), float64(max)+1
+		x := math.Exp(r.Range(math.Log(lo), math.Log(hi)))
+		k := int(x)
+		if k > max {
+			k = max
+		}
+		return k
+	}
+	a := 1 - alpha
+	lo := math.Pow(float64(min), a)
+	hi := math.Pow(float64(max)+1, a)
+	x := math.Pow(lo+(hi-lo)*r.Float64(), 1/a)
+	k := int(x)
+	if k < min {
+		k = min
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}
+
+// Zipf samples from {0,...,n-1} with probability proportional to
+// 1/(i+1)^s using a precomputed sampler. For one-off use; hot paths should
+// build a sampling.Alias table instead.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s > 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf requires n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next Zipf-distributed value.
+func (z *Zipf) Next() int {
+	x := z.r.Float64()
+	lo, hi := 0, len(z.cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(z.cdf) {
+		lo = len(z.cdf) - 1
+	}
+	return lo
+}

@@ -1,0 +1,212 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"knightking/internal/rng"
+)
+
+// Rejection performs the paper's rejection-based edge sampling (§4).
+//
+// Geometry: candidate edges are drawn along the x-axis with width
+// proportional to their static component Ps (via a StaticSampler); the
+// y-axis is bounded by the envelope Q(v), an upper bound on the dynamic
+// component Pd over all *non-outlier* edges. A dart (x, y) hits edge e's
+// bar iff y <= Pd(e), in which case e is accepted.
+//
+// Two optimizations from §4.2:
+//
+//   - Lower bound L(v): a dart with y <= L is accepted without evaluating
+//     Pd at all ("pre-acceptance"), which in distributed runs skips a whole
+//     round of walker-to-vertex query messaging.
+//
+//   - Outlier appendices: when a few edges have Pd far above everyone else
+//     (node2vec's return edge with p < 1), declaring them as outliers keeps
+//     Q low. Each outlier contributes an appendix rectangle of declared
+//     (upper-bound) area; a dart landing in an appendix resolves the
+//     outlier edge and accepts with probability actualChoppedArea /
+//     declaredArea, preserving exactness even when the declaration is only
+//     an upper bound.
+//
+// The Rejection value describes the dartboard of one vertex visit; Propose
+// throws one dart. The caller (the engine) evaluates Pd for the candidate —
+// possibly remotely — and finishes with AcceptMain / AppendixAcceptProb.
+// This split is what lets the distributed engine interleave thousands of
+// walkers' trials with two message rounds per superstep.
+type Rejection struct {
+	static     StaticSampler
+	upper      float64 // Q
+	lower      float64 // L; 0 disables pre-acceptance
+	appendices []Appendix
+	mainArea   float64
+	totalArea  float64
+}
+
+// Appendix declares one outlier case: an upper bound on the outlier edge's
+// static width (Ps) and on its dynamic overshoot above Q (Pd - Q). Tag is
+// returned to the caller so it can identify which outlier case was hit
+// (e.g. "the return edge") and locate the concrete edge.
+type Appendix struct {
+	Tag      int
+	WidthUB  float64 // >= Ps(outlier edge)
+	HeightUB float64 // >= Pd(outlier edge) - Q
+}
+
+// Proposal is one dart throw.
+type Proposal struct {
+	// EdgeIdx is the candidate edge index for a main-region dart; -1 for an
+	// appendix dart (the caller locates the outlier edge itself).
+	EdgeIdx int
+	// Appendix is the index into Appendices() for an appendix dart, -1 for
+	// a main-region dart.
+	Appendix int
+	// Y is the dart height in [0, Q) for main-region darts.
+	Y float64
+	// PreAccepted is true when Y <= L: accept without evaluating Pd.
+	PreAccepted bool
+}
+
+// NewRejection builds the dartboard for one vertex: static is the Ps
+// sampler over the vertex's out-edges, upper is Q(v) (> 0), lower is L(v)
+// (0 to disable), and appendices declare the outliers. Panics on invalid
+// geometry, which would silently bias sampling.
+func NewRejection(static StaticSampler, upper, lower float64, appendices []Appendix) *Rejection {
+	if static == nil || static.N() == 0 {
+		panic("sampling: rejection over zero edges")
+	}
+	if !(upper > 0) || math.IsInf(upper, 0) {
+		panic(fmt.Sprintf("sampling: envelope Q = %v must be positive and finite", upper))
+	}
+	if !(lower >= 0) || lower > upper {
+		panic(fmt.Sprintf("sampling: lower bound L = %v outside [0, Q=%v]", lower, upper))
+	}
+	r := &Rejection{
+		static:     static,
+		upper:      upper,
+		lower:      lower,
+		appendices: appendices,
+		mainArea:   upper * static.Total(),
+	}
+	r.totalArea = r.mainArea
+	for _, a := range appendices {
+		if !(a.WidthUB >= 0) || !(a.HeightUB >= 0) ||
+			math.IsInf(a.WidthUB, 0) || math.IsInf(a.HeightUB, 0) {
+			panic("sampling: appendix bounds must be finite and non-negative")
+		}
+		r.totalArea += a.WidthUB * a.HeightUB
+	}
+	return r
+}
+
+// Propose throws one dart and returns the candidate.
+func (rj *Rejection) Propose(r *rng.Rand) Proposal {
+	if x := r.Float64() * rj.totalArea; x >= rj.mainArea {
+		// Appendix region: find which appendix this slab belongs to.
+		x -= rj.mainArea
+		for i, a := range rj.appendices {
+			area := a.WidthUB * a.HeightUB
+			if x < area {
+				return Proposal{EdgeIdx: -1, Appendix: i}
+			}
+			x -= area
+		}
+		// Floating-point edge: fall through to the last appendix.
+		return Proposal{EdgeIdx: -1, Appendix: len(rj.appendices) - 1}
+	}
+	y := r.Float64() * rj.upper
+	return Proposal{
+		EdgeIdx:     rj.static.Sample(r),
+		Appendix:    -1,
+		Y:           y,
+		PreAccepted: y <= rj.lower,
+	}
+}
+
+// AcceptMain decides a main-region dart given the candidate's dynamic
+// component. Callers should skip the Pd evaluation entirely when
+// p.PreAccepted is set; calling AcceptMain anyway is still correct because
+// Y <= L <= Pd by the lower bound's contract.
+func (rj *Rejection) AcceptMain(p Proposal, pd float64) bool {
+	if p.Appendix >= 0 {
+		panic("sampling: AcceptMain on an appendix proposal")
+	}
+	return p.Y <= pd
+}
+
+// AppendixAcceptProb returns the probability with which an appendix dart
+// accepts the located outlier edge: its actual chopped area (Ps width ×
+// overshoot above Q) over the declared appendix area. psWidth and pd are
+// the located edge's actual static and dynamic components. The result is 0
+// when the edge turns out not to overshoot Q at all (the declaration was a
+// loose upper bound), which keeps sampling exact.
+func (rj *Rejection) AppendixAcceptProb(p Proposal, psWidth, pd float64) float64 {
+	if p.Appendix < 0 {
+		panic("sampling: AppendixAcceptProb on a main-region proposal")
+	}
+	a := rj.appendices[p.Appendix]
+	declared := a.WidthUB * a.HeightUB
+	if declared <= 0 {
+		return 0
+	}
+	over := pd - rj.upper
+	if over <= 0 {
+		return 0
+	}
+	if over > a.HeightUB {
+		panic(fmt.Sprintf("sampling: outlier overshoot %v exceeds declared bound %v", over, a.HeightUB))
+	}
+	if psWidth > a.WidthUB {
+		panic(fmt.Sprintf("sampling: outlier width %v exceeds declared bound %v", psWidth, a.WidthUB))
+	}
+	return psWidth * over / declared
+}
+
+// Appendices returns the declared outliers.
+func (rj *Rejection) Appendices() []Appendix { return rj.appendices }
+
+// Upper returns the envelope Q.
+func (rj *Rejection) Upper() float64 { return rj.upper }
+
+// Lower returns the pre-acceptance bound L (0 when disabled).
+func (rj *Rejection) Lower() float64 { return rj.lower }
+
+// ExpectedTrials computes E = totalArea / Σ(Ps·Pd), the paper's equation
+// (3) extended with appendix area, given the true per-edge dynamic
+// components. Used by tests and the analytical tooling, not on hot paths.
+func (rj *Rejection) ExpectedTrials(pd func(i int) float64) float64 {
+	effective := 0.0
+	for i := 0; i < rj.static.N(); i++ {
+		effective += rj.static.WeightAt(i) * pd(i)
+	}
+	if effective <= 0 {
+		return 0
+	}
+	return rj.totalArea / effective
+}
+
+// SampleExact runs complete rejection sampling locally until acceptance,
+// for callers that can evaluate Pd synchronously (single-node walks and
+// tests). locate maps an appendix tag to the concrete edge index, or -1 if
+// the outlier edge does not exist at this vertex. Returns the accepted
+// edge index and the number of trials used.
+func (rj *Rejection) SampleExact(r *rng.Rand, pd func(i int) float64, locate func(tag int) int) (edge, trials int) {
+	for {
+		trials++
+		p := rj.Propose(r)
+		if p.Appendix >= 0 {
+			idx := locate(rj.appendices[p.Appendix].Tag)
+			if idx < 0 {
+				continue
+			}
+			prob := rj.AppendixAcceptProb(p, rj.static.WeightAt(idx), pd(idx))
+			if r.Bernoulli(prob) {
+				return idx, trials
+			}
+			continue
+		}
+		if p.PreAccepted || rj.AcceptMain(p, pd(p.EdgeIdx)) {
+			return p.EdgeIdx, trials
+		}
+	}
+}

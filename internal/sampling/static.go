@@ -1,0 +1,218 @@
+// Package sampling implements the edge-sampling machinery of KnightKing
+// (§3–4 of the paper): the two classic static samplers — alias tables and
+// inverse transform sampling (ITS) — plus the rejection sampler that makes
+// exact dynamic (walker-dependent) sampling O(1) expected time, with the
+// paper's outlier-folding and lower-bound pre-acceptance optimizations.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"knightking/internal/rng"
+)
+
+// StaticSampler draws an index in [0, N()) with probability proportional to
+// its static weight Ps. Implementations are immutable after construction
+// and safe for concurrent Sample calls with distinct Rands.
+type StaticSampler interface {
+	// Sample returns an index distributed proportionally to weights.
+	Sample(r *rng.Rand) int
+	// N returns the number of items.
+	N() int
+	// Total returns the sum of weights (ΣPs).
+	Total() float64
+	// WeightAt returns the weight of item i.
+	WeightAt(i int) float64
+}
+
+// Uniform samples uniformly over n items (Ps ≡ 1), the static sampler for
+// unweighted graphs.
+type Uniform struct {
+	n int
+}
+
+// NewUniform returns a uniform sampler over n items. n must be positive.
+func NewUniform(n int) *Uniform {
+	if n <= 0 {
+		panic(fmt.Sprintf("sampling: NewUniform(%d)", n))
+	}
+	return &Uniform{n: n}
+}
+
+// Sample returns a uniform index in [0, n).
+func (u *Uniform) Sample(r *rng.Rand) int { return r.Intn(u.n) }
+
+// N returns the item count.
+func (u *Uniform) N() int { return u.n }
+
+// Total returns n (each item has weight 1).
+func (u *Uniform) Total() float64 { return float64(u.n) }
+
+// WeightAt returns 1 for every item.
+func (u *Uniform) WeightAt(int) float64 { return 1 }
+
+// Alias is a Walker/Vose alias table: O(n) construction, O(1) sampling.
+// This is KnightKing's default static solution (§3, Figure 1b).
+type Alias struct {
+	prob    []float64 // acceptance threshold per bucket
+	alias   []int32   // fallback item per bucket
+	weights []float64
+	total   float64
+}
+
+// NewAlias builds an alias table over the given non-negative weights. At
+// least one weight must be positive.
+func NewAlias(weights []float32) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: alias table over zero items")
+	}
+	w := make([]float64, n)
+	total := 0.0
+	for i, x := range weights {
+		if x < 0 || math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return nil, fmt.Errorf("sampling: invalid weight %v at %d", x, i)
+		}
+		w[i] = float64(x)
+		total += float64(x)
+	}
+	if !(total > 0) {
+		return nil, fmt.Errorf("sampling: weights sum to %v", total)
+	}
+
+	a := &Alias{
+		prob:    make([]float64, n),
+		alias:   make([]int32, n),
+		weights: w,
+		total:   total,
+	}
+	// Scaled weights: mean 1 per bucket.
+	scaled := make([]float64, n)
+	for i := range w {
+		scaled[i] = w[i] * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small { // numeric residue; should be ~1 already
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Sample draws an index in O(1): pick a bucket uniformly, then the bucket's
+// primary item with probability prob[b], else its alias.
+func (a *Alias) Sample(r *rng.Rand) int {
+	b := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[b] {
+		return b
+	}
+	return int(a.alias[b])
+}
+
+// N returns the item count.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Total returns ΣPs.
+func (a *Alias) Total() float64 { return a.total }
+
+// WeightAt returns the weight of item i.
+func (a *Alias) WeightAt(i int) float64 { return a.weights[i] }
+
+// ITS is an inverse-transform sampler: a CDF array with binary search,
+// O(n) construction, O(log n) sampling (§3, Figure 1a). KnightKing uses
+// alias by default; ITS exists for the baseline engine and comparisons.
+type ITS struct {
+	cdf     []float64 // cdf[i] = sum of weights[0..i]
+	weights []float64
+}
+
+// NewITS builds a CDF sampler over the given non-negative weights. At
+// least one weight must be positive.
+func NewITS(weights []float32) (*ITS, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: ITS over zero items")
+	}
+	cdf := make([]float64, n)
+	w := make([]float64, n)
+	sum := 0.0
+	for i, x := range weights {
+		if x < 0 || math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return nil, fmt.Errorf("sampling: invalid weight %v at %d", x, i)
+		}
+		w[i] = float64(x)
+		sum += float64(x)
+		cdf[i] = sum
+	}
+	if !(sum > 0) {
+		return nil, fmt.Errorf("sampling: weights sum to %v", sum)
+	}
+	return &ITS{cdf: cdf, weights: w}, nil
+}
+
+// NewITSFromFloat64 builds a CDF sampler from float64 weights; used where
+// the baseline recomputes dynamic products per step.
+func NewITSFromFloat64(weights []float64) (*ITS, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: ITS over zero items")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i, x := range weights {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("sampling: invalid weight %v at %d", x, i)
+		}
+		sum += x
+		cdf[i] = sum
+	}
+	if !(sum > 0) {
+		return nil, fmt.Errorf("sampling: weights sum to %v", sum)
+	}
+	return &ITS{cdf: cdf, weights: weights}, nil
+}
+
+// Sample draws x in [0, total) and returns the smallest i with cdf[i] > x,
+// so item i is selected with probability weights[i]/total and zero-weight
+// items are never selected.
+func (s *ITS) Sample(r *rng.Rand) int {
+	x := r.Float64() * s.cdf[len(s.cdf)-1]
+	return sort.Search(len(s.cdf), func(i int) bool { return s.cdf[i] > x })
+}
+
+// N returns the item count.
+func (s *ITS) N() int { return len(s.cdf) }
+
+// Total returns ΣPs.
+func (s *ITS) Total() float64 { return s.cdf[len(s.cdf)-1] }
+
+// WeightAt returns the weight of item i.
+func (s *ITS) WeightAt(i int) float64 { return s.weights[i] }

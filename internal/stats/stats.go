@@ -1,0 +1,317 @@
+// Package stats provides the atomic counters and per-iteration records the
+// engine exposes, plus small formatting helpers for the benchmark harness.
+// The central metric is EdgeProbEvals/Steps — the paper's machine-
+// independent "edges/step" (number of edge transition probabilities
+// computed per walker move, Tables 1 and 5, Figure 6).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters aggregates engine activity. All fields are safe for concurrent
+// update; read them after a run (or via Snapshot for a consistent-enough
+// view mid-run).
+type Counters struct {
+	// EdgeProbEvals counts dynamic transition probability (Pd) evaluations.
+	EdgeProbEvals atomic.Int64
+	// Trials counts rejection-sampling darts thrown.
+	Trials atomic.Int64
+	// PreAccepts counts darts accepted below the lower bound L without a Pd
+	// evaluation.
+	PreAccepts atomic.Int64
+	// AppendixHits counts darts landing in outlier appendices.
+	AppendixHits atomic.Int64
+	// Queries counts walker-to-vertex state queries issued.
+	Queries atomic.Int64
+	// Messages counts transport messages sent (walker moves + queries +
+	// responses).
+	Messages atomic.Int64
+	// BytesSent counts transport payload bytes.
+	BytesSent atomic.Int64
+	// Steps counts successful walker moves.
+	Steps atomic.Int64
+	// Restarts counts restart teleports (random walk with restart).
+	Restarts atomic.Int64
+	// Terminations counts walkers that finished their walk.
+	Terminations atomic.Int64
+}
+
+// Snapshot is a plain copy of the counter values.
+type Snapshot struct {
+	EdgeProbEvals int64
+	Trials        int64
+	PreAccepts    int64
+	AppendixHits  int64
+	Queries       int64
+	Messages      int64
+	BytesSent     int64
+	Steps         int64
+	Restarts      int64
+	Terminations  int64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		EdgeProbEvals: c.EdgeProbEvals.Load(),
+		Trials:        c.Trials.Load(),
+		PreAccepts:    c.PreAccepts.Load(),
+		AppendixHits:  c.AppendixHits.Load(),
+		Queries:       c.Queries.Load(),
+		Messages:      c.Messages.Load(),
+		BytesSent:     c.BytesSent.Load(),
+		Steps:         c.Steps.Load(),
+		Restarts:      c.Restarts.Load(),
+		Terminations:  c.Terminations.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.EdgeProbEvals.Store(0)
+	c.Trials.Store(0)
+	c.PreAccepts.Store(0)
+	c.AppendixHits.Store(0)
+	c.Queries.Store(0)
+	c.Messages.Store(0)
+	c.BytesSent.Store(0)
+	c.Steps.Store(0)
+	c.Restarts.Store(0)
+	c.Terminations.Store(0)
+}
+
+// EdgesPerStep returns EdgeProbEvals/Steps, the paper's edges/step metric
+// (0 when no steps were taken).
+func (s Snapshot) EdgesPerStep() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.EdgeProbEvals) / float64(s.Steps)
+}
+
+// TrialsPerStep returns rejection darts per successful move.
+func (s Snapshot) TrialsPerStep() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Trials) / float64(s.Steps)
+}
+
+// IterationRecord describes one engine superstep, for tail-behavior
+// analysis (Figure 5) and scheduler studies (Figure 9).
+type IterationRecord struct {
+	Iteration     int
+	ActiveWalkers int64
+	Duration      time.Duration
+	LightMode     bool
+}
+
+// IterationLog collects per-superstep records. Safe for concurrent Append.
+type IterationLog struct {
+	mu      sync.Mutex
+	records []IterationRecord
+}
+
+// Append adds a record.
+func (l *IterationLog) Append(r IterationRecord) {
+	l.mu.Lock()
+	l.records = append(l.records, r)
+	l.mu.Unlock()
+}
+
+// Records returns a copy of the collected records in order.
+func (l *IterationLog) Records() []IterationRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]IterationRecord, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Len returns the number of records.
+func (l *IterationLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Histogram is a fixed-bucket integer histogram (e.g. walk lengths).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []int64
+	max     int64
+	count   int64
+	sum     int64
+}
+
+// NewHistogram creates a histogram with buckets [0..n-1] plus an overflow
+// bucket for values >= n.
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram requires n > 0")
+	}
+	return &Histogram{buckets: make([]int64, n+1)}
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := v
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= int64(len(h.buckets)-1) {
+		idx = int64(len(h.buckets) - 1)
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the maximum observation.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Bucket returns the count in bucket i (the last bucket is overflow).
+func (h *Histogram) Bucket(i int) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buckets[i]
+}
+
+// Quantile returns the smallest value v such that at least q of the mass is
+// <= v. Overflow observations count at the overflow bucket's index.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum int64
+	for i, b := range h.buckets {
+		cum += b
+		if cum > target {
+			return int64(i)
+		}
+	}
+	return int64(len(h.buckets) - 1)
+}
+
+// Table accumulates aligned rows for human-readable experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

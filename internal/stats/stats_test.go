@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersSnapshotAndReset(t *testing.T) {
+	var c Counters
+	c.EdgeProbEvals.Add(10)
+	c.Steps.Add(4)
+	c.Trials.Add(6)
+	s := c.Snapshot()
+	if s.EdgeProbEvals != 10 || s.Steps != 4 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.EdgesPerStep(); got != 2.5 {
+		t.Fatalf("EdgesPerStep = %v", got)
+	}
+	if got := s.TrialsPerStep(); got != 1.5 {
+		t.Fatalf("TrialsPerStep = %v", got)
+	}
+	c.Reset()
+	if c.Snapshot() != (Snapshot{}) {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestEdgesPerStepZeroSteps(t *testing.T) {
+	var s Snapshot
+	if s.EdgesPerStep() != 0 || s.TrialsPerStep() != 0 {
+		t.Fatal("zero-step ratios should be 0")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Steps.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Steps.Load(); got != 8000 {
+		t.Fatalf("Steps = %d, want 8000", got)
+	}
+}
+
+func TestIterationLog(t *testing.T) {
+	var l IterationLog
+	for i := 0; i < 5; i++ {
+		l.Append(IterationRecord{Iteration: i, ActiveWalkers: int64(100 - i)})
+	}
+	recs := l.Records()
+	if len(recs) != 5 || l.Len() != 5 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Iteration != i || r.ActiveWalkers != int64(100-i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// Records returns a copy.
+	recs[0].Iteration = 999
+	if l.Records()[0].Iteration == 999 {
+		t.Fatal("Records aliases internal storage")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int64{0, 1, 1, 5, 9, 50, -3} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 50 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Bucket(1) != 2 {
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(10) != 1 { // overflow
+		t.Fatalf("overflow bucket = %d", h.Bucket(10))
+	}
+	if h.Bucket(0) != 2 { // 0 and clamped -3
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if q := h.Quantile(0.5); q < 48 || q > 52 {
+		t.Fatalf("median = %d", q)
+	}
+	if q := h.Quantile(0.99); q < 95 {
+		t.Fatalf("p99 = %d", q)
+	}
+	empty := NewHistogram(5)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestTableWrite(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("deepwalk", 1.2345)
+	tab.AddRow("ppr", 250*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "deepwalk") || !strings.Contains(out, "1.234") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow(1, 2)
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}

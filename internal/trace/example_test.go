@@ -1,0 +1,30 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"knightking/internal/graph"
+	"knightking/internal/trace"
+)
+
+func ExampleCorpus_Pairs() {
+	c := trace.New([][]graph.VertexID{{10, 20, 30}})
+	c.Pairs(1, func(center, context graph.VertexID) bool {
+		fmt.Println(center, "->", context)
+		return true
+	})
+	// Output:
+	// 10 -> 20
+	// 20 -> 10
+	// 20 -> 30
+	// 30 -> 20
+}
+
+func ExampleCorpus_Frequencies() {
+	c := trace.New([][]graph.VertexID{{0, 1, 1}, {1, 2}})
+	fmt.Println(c.Frequencies(0))
+	fmt.Println("tokens:", c.Tokens())
+	// Output:
+	// [1 3 1]
+	// tokens: 5
+}

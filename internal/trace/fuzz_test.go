@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"knightking/internal/graph"
+)
+
+// FuzzRead checks the text corpus parser never panics and that accepted
+// corpora round-trip through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("")
+	f.Add("0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if c.Len() != c2.Len() || c.Tokens() != c2.Tokens() {
+			t.Fatalf("round trip changed corpus: (%d,%d) vs (%d,%d)",
+				c.Len(), c.Tokens(), c2.Len(), c2.Tokens())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary corpus loader on arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := New([][]graph.VertexID{{1, 2}, {3}}).WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		c, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := c.WriteBinary(&out); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ReadBinary(&out)
+		if err != nil || c2.Len() != c.Len() {
+			t.Fatalf("binary round trip broken: %v", err)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package trace manages random walk corpora: the walk sequences that
+// DeepWalk- and node2vec-style pipelines feed into a SkipGram trainer.
+// It provides text and binary serialization, corpus statistics, and
+// windowed co-occurrence iteration (the pair stream SkipGram consumes).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"knightking/internal/graph"
+)
+
+// Corpus is a set of walk sequences.
+type Corpus struct {
+	walks [][]graph.VertexID
+}
+
+// New creates a corpus from walk sequences (retained, not copied; nil and
+// empty walks are dropped).
+func New(walks [][]graph.VertexID) *Corpus {
+	c := &Corpus{}
+	for _, w := range walks {
+		if len(w) > 0 {
+			c.walks = append(c.walks, w)
+		}
+	}
+	return c
+}
+
+// Len returns the number of walks.
+func (c *Corpus) Len() int { return len(c.walks) }
+
+// Walk returns the i-th walk (aliased, do not modify).
+func (c *Corpus) Walk(i int) []graph.VertexID { return c.walks[i] }
+
+// Tokens returns the total number of vertex occurrences.
+func (c *Corpus) Tokens() int64 {
+	var n int64
+	for _, w := range c.walks {
+		n += int64(len(w))
+	}
+	return n
+}
+
+// MaxVertex returns the largest vertex ID present (0 for an empty corpus).
+func (c *Corpus) MaxVertex() graph.VertexID {
+	var m graph.VertexID
+	for _, w := range c.walks {
+		for _, v := range w {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Frequencies returns per-vertex occurrence counts, sized to cover every
+// vertex seen (or at least n entries if n is larger).
+func (c *Corpus) Frequencies(n int) []int64 {
+	size := int(c.MaxVertex()) + 1
+	if c.Len() == 0 {
+		size = 0
+	}
+	if n > size {
+		size = n
+	}
+	freq := make([]int64, size)
+	for _, w := range c.walks {
+		for _, v := range w {
+			freq[v]++
+		}
+	}
+	return freq
+}
+
+// Pairs streams every (center, context) pair within the given window to
+// fn, walk by walk — the exact pair stream SkipGram trains on. fn
+// returning false stops the iteration early.
+func (c *Corpus) Pairs(window int, fn func(center, context graph.VertexID) bool) {
+	if window <= 0 {
+		panic("trace: Pairs requires window > 0")
+	}
+	for _, w := range c.walks {
+		for i, center := range w {
+			lo := i - window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + window
+			if hi >= len(w) {
+				hi = len(w) - 1
+			}
+			for j := lo; j <= hi; j++ {
+				if j == i {
+					continue
+				}
+				if !fn(center, w[j]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CountPairs returns the number of (center, context) pairs in the window.
+func (c *Corpus) CountPairs(window int) int64 {
+	var n int64
+	c.Pairs(window, func(_, _ graph.VertexID) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Write serializes the corpus as text: one walk per line, space-separated
+// vertex IDs.
+func (c *Corpus) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, walk := range c.walks {
+		for i, v := range walk {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(v), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a text corpus written by Write.
+func Read(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	c := &Corpus{}
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		walk := make([]graph.VertexID, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			}
+			walk[i] = graph.VertexID(v)
+		}
+		c.walks = append(c.walks, walk)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return c, nil
+}
+
+// Binary format:
+//
+//	magic   uint32 = 0x4b4b574b ("KKWK")
+//	count   uint64
+//	repeat count times: len uint32, then len uint32 vertex IDs
+
+const binaryMagic = 0x4b4b574b
+
+// WriteBinary serializes the corpus compactly.
+func (c *Corpus) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(binaryMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(c.walks))); err != nil {
+		return err
+	}
+	for _, walk := range c.walks {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(walk))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, walk); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a corpus written by WriteBinary.
+func ReadBinary(r io.Reader) (*Corpus, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: binary count: %w", err)
+	}
+	const chunk = 1 << 14
+	c := &Corpus{}
+	if count < chunk {
+		c.walks = make([][]graph.VertexID, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("trace: walk %d length: %w", i, err)
+		}
+		// Bound per-read allocation against lying headers.
+		walk := make([]graph.VertexID, 0, minU32(n, chunk))
+		for remaining := n; remaining > 0; {
+			take := minU32(remaining, chunk)
+			buf := make([]graph.VertexID, take)
+			if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+				return nil, fmt.Errorf("trace: walk %d body: %w", i, err)
+			}
+			walk = append(walk, buf...)
+			remaining -= take
+		}
+		c.walks = append(c.walks, walk)
+	}
+	return c, nil
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

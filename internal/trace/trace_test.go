@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"knightking/internal/graph"
+)
+
+func sample() *Corpus {
+	return New([][]graph.VertexID{
+		{1, 2, 3},
+		{4, 5},
+		nil, // dropped
+		{6},
+	})
+}
+
+func TestNewDropsEmpty(t *testing.T) {
+	c := sample()
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestTokensAndMaxVertex(t *testing.T) {
+	c := sample()
+	if c.Tokens() != 6 {
+		t.Fatalf("Tokens = %d", c.Tokens())
+	}
+	if c.MaxVertex() != 6 {
+		t.Fatalf("MaxVertex = %d", c.MaxVertex())
+	}
+	empty := New(nil)
+	if empty.Tokens() != 0 || empty.MaxVertex() != 0 {
+		t.Fatal("empty corpus stats wrong")
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	c := New([][]graph.VertexID{{1, 1, 2}, {2, 3}})
+	freq := c.Frequencies(0)
+	want := []int64{0, 2, 2, 1}
+	if len(freq) != len(want) {
+		t.Fatalf("freq len %d", len(freq))
+	}
+	for i, w := range want {
+		if freq[i] != w {
+			t.Fatalf("freq[%d] = %d, want %d", i, freq[i], w)
+		}
+	}
+	// Padding to n entries.
+	if got := c.Frequencies(10); len(got) != 10 {
+		t.Fatalf("padded len %d", len(got))
+	}
+}
+
+func TestPairsWindow(t *testing.T) {
+	c := New([][]graph.VertexID{{1, 2, 3, 4}})
+	var pairs [][2]graph.VertexID
+	c.Pairs(1, func(a, b graph.VertexID) bool {
+		pairs = append(pairs, [2]graph.VertexID{a, b})
+		return true
+	})
+	// Window 1 on a 4-walk: (1,2) (2,1) (2,3) (3,2) (3,4) (4,3).
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs: %v", len(pairs), pairs)
+	}
+	if c.CountPairs(1) != 6 {
+		t.Fatalf("CountPairs = %d", c.CountPairs(1))
+	}
+	// Window >= walk length: every ordered pair.
+	if got := c.CountPairs(10); got != 12 {
+		t.Fatalf("full-window pairs = %d, want 12", got)
+	}
+}
+
+func TestPairsEarlyStop(t *testing.T) {
+	c := New([][]graph.VertexID{{1, 2, 3, 4, 5}})
+	n := 0
+	c.Pairs(2, func(_, _ graph.VertexID) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop did not work: %d", n)
+	}
+}
+
+func TestPairsPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 0 did not panic")
+		}
+	}()
+	sample().Pairs(0, func(_, _ graph.VertexID) bool { return true })
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualCorpus(t, c, got)
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	c, err := Read(strings.NewReader("1 2\n\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 x 3\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualCorpus(t, c, got)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func assertEqualCorpus(t *testing.T, a, b *Corpus) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		wa, wb := a.Walk(i), b.Walk(i)
+		if len(wa) != len(wb) {
+			t.Fatalf("walk %d lengths differ", i)
+		}
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("walk %d diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPairsCountQuick(t *testing.T) {
+	// Property: CountPairs(window) equals the closed-form sum over walks.
+	f := func(lens []uint8, window uint8) bool {
+		w := int(window%6) + 1
+		var walks [][]graph.VertexID
+		for _, l := range lens {
+			n := int(l % 20)
+			walk := make([]graph.VertexID, n)
+			for i := range walk {
+				walk[i] = graph.VertexID(i)
+			}
+			walks = append(walks, walk)
+		}
+		c := New(walks)
+		var want int64
+		for i := 0; i < c.Len(); i++ {
+			n := len(c.Walk(i))
+			for j := 0; j < n; j++ {
+				lo, hi := j-w, j+w
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > n-1 {
+					hi = n - 1
+				}
+				want += int64(hi - lo)
+			}
+		}
+		return c.CountPairs(w) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tcpEndpoint implements Endpoint over one TCP connection per peer, with a
+// handshake identifying ranks and one length-prefixed frame per peer per
+// Exchange round. The collective property (every rank sends exactly one
+// frame to every other rank per round, possibly empty) makes Exchange both
+// a delivery and a barrier, mirroring the in-process transport.
+//
+// Wire format per round, per directed peer pair:
+//
+//	round   uint64
+//	count   uint32
+//	repeat count times:
+//	  kind  uint8
+//	  len   uint32
+//	  payload [len]byte
+type tcpEndpoint struct {
+	rank, size int
+
+	mu     sync.Mutex
+	outbox [][]Message // per destination rank
+
+	conns   []net.Conn // nil at own rank
+	readers []*bufio.Reader
+	writers []*bufio.Writer
+
+	round    uint64
+	closed   atomic.Bool
+	sentMsgs atomic.Int64
+	sentByte atomic.Int64
+}
+
+// DialTCPGroup joins a TCP exchange group. addrs lists the listen address
+// of every rank, in rank order; the caller must run one DialTCPGroup per
+// rank (typically in separate processes — tests use one process). Rank i
+// listens on addrs[i], accepts connections from lower ranks, and dials
+// higher ranks. The returned endpoint is ready once the full mesh is up.
+func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
+	n := len(addrs)
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("transport: rank %d out of %d", rank, n)
+	}
+	e := &tcpEndpoint{
+		rank:    rank,
+		size:    n,
+		outbox:  make([][]Message, n),
+		conns:   make([]net.Conn, n),
+		readers: make([]*bufio.Reader, n),
+		writers: make([]*bufio.Writer, n),
+	}
+	if n == 1 {
+		return e, nil
+	}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+
+	// Accept one connection from every lower rank.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("transport: accept: %w", err)
+				return
+			}
+			var peer uint32
+			if err := binary.Read(conn, binary.LittleEndian, &peer); err != nil {
+				errs <- fmt.Errorf("transport: handshake read: %w", err)
+				return
+			}
+			if int(peer) >= n || int(peer) >= rank {
+				errs <- fmt.Errorf("transport: bad handshake rank %d", peer)
+				return
+			}
+			e.setConn(int(peer), conn)
+		}
+	}()
+
+	// Dial every higher rank, retrying while its listener comes up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := rank + 1; i < n; i++ {
+			conn, err := dialRetry(addrs[i], 5*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("transport: dial %s: %w", addrs[i], err)
+				return
+			}
+			if err := binary.Write(conn, binary.LittleEndian, uint32(rank)); err != nil {
+				errs <- fmt.Errorf("transport: handshake write: %w", err)
+				return
+			}
+			e.setConn(i, conn)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		e.Close()
+		return nil, err
+	default:
+	}
+	return e, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (e *tcpEndpoint) setConn(peer int, conn net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.conns[peer] = conn
+	e.readers[peer] = bufio.NewReaderSize(conn, 1<<16)
+	e.writers[peer] = bufio.NewWriterSize(conn, 1<<16)
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.size }
+
+func (e *tcpEndpoint) Send(to int, kind uint8, payload []byte) {
+	if to < 0 || to >= e.size {
+		panic(fmt.Sprintf("transport: send to rank %d of %d", to, e.size))
+	}
+	e.mu.Lock()
+	e.outbox[to] = append(e.outbox[to], Message{From: e.rank, Kind: kind, Payload: payload})
+	e.mu.Unlock()
+	e.sentMsgs.Add(1)
+	e.sentByte.Add(int64(len(payload)))
+}
+
+func (e *tcpEndpoint) Exchange() ([]Message, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("transport: exchange on closed endpoint")
+	}
+	e.mu.Lock()
+	round := e.round
+	e.round++
+	out := e.outbox
+	e.outbox = make([][]Message, e.size)
+	e.mu.Unlock()
+
+	// Self-delivery short-circuits the wire.
+	received := append([]Message(nil), out[e.rank]...)
+
+	if e.size == 1 {
+		return received, nil
+	}
+
+	// Write frames to all peers concurrently; read frames from all peers
+	// in this goroutine. Concurrent writes prevent a full-duplex deadlock
+	// when kernel buffers fill.
+	writeErrs := make(chan error, e.size)
+	var wg sync.WaitGroup
+	for peer := 0; peer < e.size; peer++ {
+		if peer == e.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			writeErrs <- e.writeFrame(peer, round, out[peer])
+		}(peer)
+	}
+
+	var readErr error
+	for peer := 0; peer < e.size; peer++ {
+		if peer == e.rank {
+			continue
+		}
+		msgs, err := e.readFrame(peer, round)
+		if err != nil {
+			readErr = err
+			break
+		}
+		received = append(received, msgs...)
+	}
+	wg.Wait()
+	close(writeErrs)
+	for err := range writeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	return received, nil
+}
+
+func (e *tcpEndpoint) writeFrame(peer int, round uint64, msgs []Message) error {
+	w := e.writers[peer]
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], round)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(msgs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header to %d: %w", peer, err)
+	}
+	var mh [5]byte
+	for _, m := range msgs {
+		mh[0] = m.Kind
+		binary.LittleEndian.PutUint32(mh[1:5], uint32(len(m.Payload)))
+		if _, err := w.Write(mh[:]); err != nil {
+			return fmt.Errorf("transport: write message header to %d: %w", peer, err)
+		}
+		if _, err := w.Write(m.Payload); err != nil {
+			return fmt.Errorf("transport: write payload to %d: %w", peer, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush to %d: %w", peer, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) readFrame(peer int, round uint64) ([]Message, error) {
+	r := e.readers[peer]
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read frame header from %d: %w", peer, err)
+	}
+	gotRound := binary.LittleEndian.Uint64(hdr[0:8])
+	if gotRound != round {
+		return nil, fmt.Errorf("transport: round mismatch from %d: got %d want %d", peer, gotRound, round)
+	}
+	count := binary.LittleEndian.Uint32(hdr[8:12])
+	msgs := make([]Message, 0, count)
+	var mh [5]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, mh[:]); err != nil {
+			return nil, fmt.Errorf("transport: read message header from %d: %w", peer, err)
+		}
+		plen := binary.LittleEndian.Uint32(mh[1:5])
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("transport: read payload from %d: %w", peer, err)
+		}
+		msgs = append(msgs, Message{From: peer, Kind: mh[0], Payload: payload})
+	}
+	return msgs, nil
+}
+
+func (e *tcpEndpoint) Stats() (int64, int64) {
+	return e.sentMsgs.Load(), e.sentByte.Load()
+}
+
+func (e *tcpEndpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, c := range e.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,362 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runGroup executes fn concurrently on every endpoint and waits.
+func runGroup(t *testing.T, eps []Endpoint, fn func(e Endpoint) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(eps))
+	for i, e := range eps {
+		wg.Add(1)
+		go func(i int, e Endpoint) {
+			defer wg.Done()
+			errs[i] = fn(e)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func testBasicExchange(t *testing.T, eps []Endpoint) {
+	n := len(eps)
+	runGroup(t, eps, func(e Endpoint) error {
+		// Every rank sends one message to every rank (including itself).
+		for to := 0; to < n; to++ {
+			e.Send(to, 7, []byte(fmt.Sprintf("from %d to %d", e.Rank(), to)))
+		}
+		msgs, err := e.Exchange()
+		if err != nil {
+			return err
+		}
+		if len(msgs) != n {
+			return fmt.Errorf("got %d messages, want %d", len(msgs), n)
+		}
+		seen := make(map[int]bool)
+		for _, m := range msgs {
+			if m.Kind != 7 {
+				return fmt.Errorf("kind = %d", m.Kind)
+			}
+			want := fmt.Sprintf("from %d to %d", m.From, e.Rank())
+			if string(m.Payload) != want {
+				return fmt.Errorf("payload = %q, want %q", m.Payload, want)
+			}
+			seen[m.From] = true
+		}
+		if len(seen) != n {
+			return fmt.Errorf("messages from %d distinct senders, want %d", len(seen), n)
+		}
+		return nil
+	})
+}
+
+func testEmptyRound(t *testing.T, eps []Endpoint) {
+	runGroup(t, eps, func(e Endpoint) error {
+		msgs, err := e.Exchange()
+		if err != nil {
+			return err
+		}
+		if len(msgs) != 0 {
+			return fmt.Errorf("empty round delivered %d messages", len(msgs))
+		}
+		return nil
+	})
+}
+
+func testManyRounds(t *testing.T, eps []Endpoint) {
+	n := len(eps)
+	runGroup(t, eps, func(e Endpoint) error {
+		for round := 0; round < 20; round++ {
+			// Ring pattern: each rank sends `round` messages to its right
+			// neighbor.
+			to := (e.Rank() + 1) % n
+			for k := 0; k < round; k++ {
+				e.Send(to, uint8(round), []byte{byte(k)})
+			}
+			msgs, err := e.Exchange()
+			if err != nil {
+				return err
+			}
+			if len(msgs) != round {
+				return fmt.Errorf("round %d: got %d messages, want %d", round, len(msgs), round)
+			}
+			for i, m := range msgs {
+				if int(m.Kind) != round || m.From != (e.Rank()+n-1)%n || m.Payload[0] != byte(i) {
+					return fmt.Errorf("round %d: bad message %d: %+v (order not preserved?)", round, i, m)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func testStats(t *testing.T, eps []Endpoint) {
+	runGroup(t, eps, func(e Endpoint) error {
+		before, _ := e.Stats()
+		e.Send(0, 1, make([]byte, 100))
+		msgs, bytes := e.Stats()
+		if msgs != before+1 {
+			return fmt.Errorf("message count not incremented")
+		}
+		if bytes < 100 {
+			return fmt.Errorf("byte count %d < 100", bytes)
+		}
+		_, err := e.Exchange()
+		return err
+	})
+}
+
+func TestInProcBasicExchange(t *testing.T) { testBasicExchange(t, NewInProcGroup(4)) }
+func TestInProcEmptyRound(t *testing.T)    { testEmptyRound(t, NewInProcGroup(3)) }
+func TestInProcManyRounds(t *testing.T)    { testManyRounds(t, NewInProcGroup(5)) }
+func TestInProcStats(t *testing.T)         { testStats(t, NewInProcGroup(2)) }
+func TestInProcSingleRank(t *testing.T)    { testBasicExchange(t, NewInProcGroup(1)) }
+
+func TestInProcSendPanicsOnBadRank(t *testing.T) {
+	eps := NewInProcGroup(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to invalid rank did not panic")
+		}
+	}()
+	eps[0].Send(5, 0, nil)
+}
+
+func TestInProcCloseUnblocks(t *testing.T) {
+	eps := NewInProcGroup(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Exchange() // blocks: rank 1 never arrives
+		done <- err
+	}()
+	if err := eps[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("exchange on closed group returned nil error")
+	}
+}
+
+// freeAddrs reserves n distinct loopback ports and returns them.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// dialTCPGroupAll brings up a full TCP mesh inside the test process.
+func dialTCPGroupAll(t *testing.T, n int) []Endpoint {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	eps := make([]Endpoint, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := DialTCPGroup(i, addrs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			eps[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Cleanup(func() {
+		for _, e := range eps {
+			if e != nil {
+				e.Close()
+			}
+		}
+	})
+	return eps
+}
+
+func TestTCPBasicExchange(t *testing.T) { testBasicExchange(t, dialTCPGroupAll(t, 3)) }
+func TestTCPEmptyRound(t *testing.T)    { testEmptyRound(t, dialTCPGroupAll(t, 2)) }
+func TestTCPManyRounds(t *testing.T)    { testManyRounds(t, dialTCPGroupAll(t, 3)) }
+func TestTCPStats(t *testing.T)         { testStats(t, dialTCPGroupAll(t, 2)) }
+func TestTCPSingleRank(t *testing.T)    { testBasicExchange(t, dialTCPGroupAll(t, 1)) }
+
+func TestTCPLargePayload(t *testing.T) {
+	eps := dialTCPGroupAll(t, 2)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	runGroup(t, eps, func(e Endpoint) error {
+		e.Send(1-e.Rank(), 9, big)
+		msgs, err := e.Exchange()
+		if err != nil {
+			return err
+		}
+		if len(msgs) != 1 || len(msgs[0].Payload) != len(big) {
+			return fmt.Errorf("large payload mangled")
+		}
+		for i, b := range msgs[0].Payload {
+			if b != byte(i) {
+				return fmt.Errorf("payload corrupted at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPExchangeAfterClose(t *testing.T) {
+	eps := dialTCPGroupAll(t, 2)
+	eps[0].Close()
+	if _, err := eps[0].Exchange(); err == nil {
+		t.Fatal("exchange after close returned nil error")
+	}
+}
+
+func TestDialTCPGroupBadRank(t *testing.T) {
+	if _, err := DialTCPGroup(5, []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+func benchExchange(b *testing.B, eps []Endpoint, payload int) {
+	b.Helper()
+	data := make([]byte, payload)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, e := range eps {
+		wg.Add(1)
+		go func(e Endpoint) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				for to := 0; to < e.Size(); to++ {
+					e.Send(to, 1, data)
+				}
+				if _, err := e.Exchange(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	b.SetBytes(int64(payload * len(eps) * len(eps)))
+}
+
+func BenchmarkInProcExchange4x1KB(b *testing.B) {
+	benchExchange(b, NewInProcGroup(4), 1024)
+}
+
+func BenchmarkInProcExchange4x64KB(b *testing.B) {
+	benchExchange(b, NewInProcGroup(4), 64*1024)
+}
+
+func BenchmarkTCPExchange2x64KB(b *testing.B) {
+	addrs := make([]string, 2)
+	lns := make([]net.Listener, 0, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	eps := make([]Endpoint, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := DialTCPGroup(i, addrs)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			eps[i] = ep
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for _, e := range eps {
+			if e != nil {
+				e.Close()
+			}
+		}
+	}()
+	benchExchange(b, eps, 64*1024)
+}
+
+func TestTCPPeerFailureSurfacesError(t *testing.T) {
+	// Rank 1 dies (closes its connections) while rank 0 waits in Exchange:
+	// rank 0 must get an error, never hang.
+	eps := dialTCPGroupAll(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		eps[0].Send(1, 1, []byte("hello"))
+		_, err := eps[0].Exchange()
+		done <- err
+	}()
+	eps[1].Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("exchange with dead peer returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange hung after peer failure")
+	}
+}
+
+func TestInProcPartialExchangeThenClose(t *testing.T) {
+	// Two of three ranks arrive, the third closes instead: both waiters
+	// must return errors.
+	eps := NewInProcGroup(3)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := eps[i].Exchange()
+			errs <- err
+		}(i)
+	}
+	eps[2].Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("waiter returned nil error after group close")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter hung after group close")
+		}
+	}
+}
