@@ -14,7 +14,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/...
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -25,6 +25,7 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzReadBinary -fuzztime=15s ./internal/graph/
 	go test -run=Fuzz -fuzz=FuzzEdgeListRoundTrip -fuzztime=15s ./internal/graph/
 	go test -run=Fuzz -fuzz=FuzzDecodeWalker -fuzztime=15s ./internal/core/
+	go test -run=Fuzz -fuzz=FuzzReadManifest -fuzztime=15s ./internal/checkpoint/
 	go test -run=Fuzz -fuzz=FuzzRead -fuzztime=15s ./internal/trace/
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).

@@ -9,6 +9,12 @@
 //	kkwalk -graph g.bin -binary -alg node2vec -p 2 -q 0.5 -nodes 8 -walkers 100000
 //	kkwalk -graph g.txt -alg metapath -schemes "0,1;2,0,1" -length 80
 //	kkwalk -graph g.txt -alg node2vec -dump walks.txt
+//
+// Long jobs can snapshot their state every few supersteps and pick up
+// after a crash:
+//
+//	kkwalk -graph g.txt -alg node2vec -checkpoint-dir ckpt -checkpoint-every 16
+//	kkwalk -graph g.txt -alg node2vec -checkpoint-dir ckpt -resume
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"knightking/internal/alg"
+	"knightking/internal/checkpoint"
 	"knightking/internal/cluster"
 	"knightking/internal/core"
 	"knightking/internal/graph"
@@ -48,6 +55,9 @@ func main() {
 		rank       = flag.Int("rank", -1, "multi-process mode: this process's rank")
 		peers      = flag.String("peers", "", "multi-process mode: comma-separated listen addresses of all ranks, in rank order")
 		noLight    = flag.Bool("nolight", false, "disable straggler-aware light mode")
+		ckptDir    = flag.String("checkpoint-dir", "", "snapshot walk state into this directory")
+		ckptEvery  = flag.Int("checkpoint-every", 16, "supersteps between checkpoints")
+		resume     = flag.Bool("resume", false, "resume from the latest complete checkpoint in -checkpoint-dir")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -134,6 +144,39 @@ func main() {
 		LightThreshold:  lt,
 		PartitionStarts: partStarts,
 	}
+
+	if *resume && *ckptDir == "" {
+		fatalf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		effWalkers := *walkers
+		if effWalkers <= 0 {
+			effWalkers = g.NumVertices()
+		}
+		meta := checkpoint.Meta{
+			Seed:        *seed,
+			NumWalkers:  uint64(effWalkers),
+			NumVertices: uint64(g.NumVertices()),
+			Algorithm:   program.Name,
+		}
+		store, serr := checkpoint.NewStore(*ckptDir, *ckptEvery, meta)
+		if serr != nil {
+			fatalf("%v", serr)
+		}
+		cfg.Checkpoint = store
+		if *resume {
+			cp, lerr := checkpoint.Load(*ckptDir)
+			if lerr != nil {
+				fatalf("%v", lerr)
+			}
+			if verr := cp.Validate(meta); verr != nil {
+				fatalf("%v", verr)
+			}
+			cfg.Restore = cp.RestoreState()
+			fmt.Fprintf(os.Stderr, "resuming from the superstep-%d checkpoint\n", cp.Iteration)
+		}
+	}
+
 	var res *core.Result
 	if multiProcess {
 		// Real multi-process deployment: every rank runs this binary with
@@ -162,6 +205,12 @@ func main() {
 		"sampling: %.3f edges/step, %.3f trials/step, %d queries, %d messages, mean length %.1f, max %d\n",
 		c.EdgesPerStep(), c.TrialsPerStep(), c.Queries, c.Messages,
 		res.Lengths.Mean(), res.Lengths.Max())
+	if *ckptDir != "" {
+		fmt.Fprintf(os.Stderr,
+			"checkpoint: %d committed, %d bytes, %.3fs snapshotting, %.3fs restoring\n",
+			c.Checkpoints, c.CheckpointBytes,
+			float64(c.CheckpointNanos)/1e9, float64(c.RestoreNanos)/1e9)
+	}
 
 	if *visits != "" {
 		out := os.Stdout

@@ -1,0 +1,294 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knightking/internal/core"
+)
+
+var testMeta = Meta{Seed: 42, NumWalkers: 100, NumVertices: 60, Algorithm: "node2vec"}
+
+// writeCheckpoint drives one full WriteSegment×ranks + Commit cycle with
+// synthetic blobs and returns the blobs.
+func writeCheckpoint(t *testing.T, s *Store, iteration, ranks int) [][]byte {
+	t.Helper()
+	blobs := make([][]byte, ranks)
+	infos := make([]core.SegmentInfo, ranks)
+	for r := 0; r < ranks; r++ {
+		blobs[r] = bytes.Repeat([]byte{byte(iteration), byte(r)}, 64+r)
+		info, err := s.WriteSegment(iteration, r, blobs[r])
+		if err != nil {
+			t.Fatalf("WriteSegment(%d, %d): %v", iteration, r, err)
+		}
+		infos[r] = info
+	}
+	if err := s.Commit(iteration, infos); err != nil {
+		t.Fatalf("Commit(%d): %v", iteration, err)
+	}
+	return blobs
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval() != 4 {
+		t.Fatalf("Interval() = %d, want 4", s.Interval())
+	}
+	blobs := writeCheckpoint(t, s, 8, 3)
+
+	cp, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Iteration != 8 {
+		t.Fatalf("Iteration = %d, want 8", cp.Iteration)
+	}
+	if cp.Meta != testMeta {
+		t.Fatalf("Meta = %+v, want %+v", cp.Meta, testMeta)
+	}
+	if len(cp.Segments) != 3 {
+		t.Fatalf("got %d segments, want 3", len(cp.Segments))
+	}
+	for r, blob := range cp.Segments {
+		if !bytes.Equal(blob, blobs[r]) {
+			t.Fatalf("segment %d does not round-trip", r)
+		}
+	}
+	rst := cp.RestoreState()
+	if rst.Iteration != 8 || len(rst.Segments) != 3 {
+		t.Fatalf("RestoreState = %+v", rst)
+	}
+	if err := cp.Validate(testMeta); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// No staging debris survives a commit.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), stagingPrefix) {
+			t.Fatalf("staging directory %s survived commit", e.Name())
+		}
+	}
+}
+
+func TestLoadIgnoresUncommittedStaging(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeCheckpoint(t, s, 4, 2)
+	// Segments written but never committed must stay invisible.
+	if _, err := s.WriteSegment(8, 0, []byte("half a checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Iteration != 4 {
+		t.Fatalf("loaded iteration %d, want the committed 4", cp.Iteration)
+	}
+}
+
+func TestCommitPrunesOldCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeCheckpoint(t, s, 4, 2)
+	writeCheckpoint(t, s, 8, 2)
+	writeCheckpoint(t, s, 12, 2)
+
+	if _, err := os.Stat(ckptDir(dir, 4)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint 4 not pruned with Retain=%d", s.Retain)
+	}
+	for _, it := range []int{8, 12} {
+		if _, err := os.Stat(ckptDir(dir, it)); err != nil {
+			t.Fatalf("retained checkpoint %d missing: %v", it, err)
+		}
+	}
+	cp, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Iteration != 12 {
+		t.Fatalf("loaded iteration %d, want 12", cp.Iteration)
+	}
+}
+
+// corrupt applies fn to the newest checkpoint and asserts Load falls back
+// to the previous complete one.
+func testFallback(t *testing.T, fn func(t *testing.T, newest string)) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	older := writeCheckpoint(t, s, 4, 2)
+	writeCheckpoint(t, s, 8, 2)
+	fn(t, ckptDir(dir, 8))
+
+	cp, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load did not fall back: %v", err)
+	}
+	if cp.Iteration != 4 {
+		t.Fatalf("loaded iteration %d, want fallback to 4", cp.Iteration)
+	}
+	for r, blob := range cp.Segments {
+		if !bytes.Equal(blob, older[r]) {
+			t.Fatalf("fallback segment %d corrupted", r)
+		}
+	}
+}
+
+func TestLoadSkipsTruncatedSegment(t *testing.T) {
+	testFallback(t, func(t *testing.T, newest string) {
+		path := filepath.Join(newest, "rank-00001.seg")
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()/2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLoadSkipsFlippedSegmentByte(t *testing.T) {
+	testFallback(t, func(t *testing.T, newest string) {
+		path := filepath.Join(newest, "rank-00000.seg")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLoadSkipsCorruptManifest(t *testing.T) {
+	testFallback(t, func(t *testing.T, newest string) {
+		path := filepath.Join(newest, manifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[12] ^= 0x01 // somewhere in the iteration field
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLoadSkipsMissingSegment(t *testing.T) {
+	testFallback(t, func(t *testing.T, newest string) {
+		if err := os.Remove(filepath.Join(newest, "rank-00001.seg")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLoadReportsAllRejections(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4, testMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeCheckpoint(t, s, 4, 1)
+	if err := os.Remove(filepath.Join(ckptDir(dir, 4), manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir)
+	if err == nil {
+		t.Fatal("Load succeeded with no complete checkpoint")
+	}
+	if !strings.Contains(err.Error(), "MANIFEST") {
+		t.Fatalf("error does not name the rejection: %v", err)
+	}
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("Load succeeded on an empty directory")
+	}
+}
+
+func TestValidateMismatches(t *testing.T) {
+	cp := &Checkpoint{Meta: testMeta}
+	if err := cp.Validate(testMeta); err != nil {
+		t.Fatalf("matching meta rejected: %v", err)
+	}
+	cases := []Meta{
+		{Seed: 7, NumWalkers: 100, NumVertices: 60, Algorithm: "node2vec"},
+		{Seed: 42, NumWalkers: 99, NumVertices: 60, Algorithm: "node2vec"},
+		{Seed: 42, NumWalkers: 100, NumVertices: 61, Algorithm: "node2vec"},
+		{Seed: 42, NumWalkers: 100, NumVertices: 60, Algorithm: "deepwalk"},
+	}
+	for i, m := range cases {
+		if err := cp.Validate(m); err == nil {
+			t.Errorf("case %d: mismatch %+v accepted", i, m)
+		}
+	}
+}
+
+func TestNewStoreRejectsBadInterval(t *testing.T) {
+	if _, err := NewStore(t.TempDir(), 0, testMeta); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Iteration: 16,
+		Meta:      testMeta,
+		Segments: []core.SegmentInfo{
+			{Rank: 0, Size: 123, CRC: 0xdeadbeef},
+			{Rank: 1, Size: 0, CRC: 0},
+		},
+	}
+	got, err := ReadManifest(m.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != m.Iteration || got.Meta != m.Meta || len(got.Segments) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range m.Segments {
+		if got.Segments[i] != m.Segments[i] {
+			t.Fatalf("segment %d: %+v != %+v", i, got.Segments[i], m.Segments[i])
+		}
+	}
+}
+
+// FuzzReadManifest asserts the manifest decoder never panics on arbitrary
+// bytes and that anything it accepts re-encodes to the identical bytes
+// (i.e. every accepted input is a canonical encoding — the checksum leaves
+// no room for mutated-but-accepted manifests).
+func FuzzReadManifest(f *testing.F) {
+	m := &Manifest{
+		Iteration: 8,
+		Meta:      testMeta,
+		Segments:  []core.SegmentInfo{{Rank: 0, Size: 64, CRC: 7}, {Rank: 1, Size: 65, CRC: 9}},
+	}
+	f.Add(m.encode())
+	f.Add([]byte(manifestMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadManifest(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.encode(), data) {
+			t.Fatalf("accepted manifest is not canonical: %+v", got)
+		}
+	})
+}

@@ -21,6 +21,7 @@ const (
 	kQuery                     // batched state-query records
 	kResponse                  // batched query-response records
 	kCount                     // one int64: sender's live-walker count
+	kCkpt                      // one checkpoint segment descriptor, sent to rank 0
 )
 
 // Chunk size for dynamic task scheduling, matching the paper's setting
@@ -89,6 +90,53 @@ type Config struct {
 	// which case every rank must pass identical boundaries matching its
 	// slice. Length must be number-of-nodes + 1.
 	PartitionStarts []graph.VertexID
+	// Checkpoint, when non-nil, makes every rank snapshot its walker state
+	// into the sink at each superstep barrier whose index is a multiple of
+	// the sink's Interval. The snapshot is taken at a consistent cut (all
+	// migrations delivered, no responses outstanding); a write or commit
+	// failure aborts the run. See internal/checkpoint for the on-disk sink.
+	Checkpoint CheckpointSink
+	// Restore resumes a previous run from a loaded checkpoint instead of
+	// seeding fresh walkers. The Config must otherwise match the
+	// checkpointed run (graph, algorithm, seed, walker count, rank count);
+	// mismatches are rejected. See internal/checkpoint.Load.
+	Restore *RestoreState
+}
+
+// CheckpointSink stores consistent superstep snapshots. Implementations
+// must be safe for concurrent WriteSegment calls from different ranks.
+// internal/checkpoint.Store is the production implementation.
+type CheckpointSink interface {
+	// Interval returns the snapshot period in supersteps (>= 1). It must be
+	// constant for the duration of a run so every rank triggers at the same
+	// barriers.
+	Interval() int
+	// WriteSegment durably stores one rank's snapshot blob for the given
+	// superstep and returns its stored size and checksum.
+	WriteSegment(iteration, rank int, blob []byte) (SegmentInfo, error)
+	// Commit finalizes iteration's checkpoint; the engine calls it on rank 0
+	// only, after every rank's segment is durable (segments are sorted by
+	// rank and complete).
+	Commit(iteration int, segments []SegmentInfo) error
+}
+
+// SegmentInfo describes one durably written checkpoint segment.
+type SegmentInfo struct {
+	Rank int
+	Size int64
+	CRC  uint64
+}
+
+// RestoreState carries a decoded checkpoint into Run or RunNode.
+type RestoreState struct {
+	// Iteration is the superstep at which the snapshot was taken; the
+	// resumed run continues counting from it.
+	Iteration int
+	// Segments holds each rank's snapshot blob, indexed by rank. A
+	// multi-process rank needs at least its own entry; entries for other
+	// ranks are ignored except that RunNode merges only the result section
+	// of this rank's segment while Run merges every present one.
+	Segments [][]byte
 }
 
 // Result summarizes a run.
@@ -141,9 +189,27 @@ func Run(cfg Config) (*Result, error) {
 	res := newResult(&cfg)
 
 	setupStart := time.Now()
+	if cfg.Restore != nil {
+		// One process hosts every rank, so this process owns the whole
+		// result set: merge the result sections of every segment (one for a
+		// Run-written checkpoint, one per rank for a RunNode-written one).
+		restoreStart := time.Now()
+		ranks := make([]int, numNodes)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		if err := applyRestoredResults(cfg.Restore, ranks, res, counters); err != nil {
+			return nil, err
+		}
+		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds())
+	}
 	nodes := make([]*node, numNodes)
 	for rank := 0; rank < numNodes; rank++ {
-		nodes[rank] = newNode(rank, &cfg, part, eps[rank], counters, res)
+		n, err := newNode(rank, &cfg, part, eps[rank], counters, res, rank == 0)
+		if err != nil {
+			return nil, err
+		}
+		nodes[rank] = n
 	}
 	res.SetupDuration = time.Since(setupStart)
 
@@ -207,7 +273,20 @@ func RunNode(cfg Config, ep transport.Endpoint) (*Result, error) {
 	res := newResult(&cfg)
 
 	setupStart := time.Now()
-	n := newNode(ep.Rank(), &cfg, part, ep, counters, res)
+	if cfg.Restore != nil {
+		// Each process owns only its rank's share of the results; merging
+		// exactly the rank-matching result section keeps cluster-wide sums
+		// correct without double counting across processes.
+		restoreStart := time.Now()
+		if err := applyRestoredResults(cfg.Restore, []int{ep.Rank()}, res, counters); err != nil {
+			return nil, err
+		}
+		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds())
+	}
+	n, err := newNode(ep.Rank(), &cfg, part, ep, counters, res, true)
+	if err != nil {
+		return nil, err
+	}
 	res.SetupDuration = time.Since(setupStart)
 
 	walkStart := time.Now()
@@ -322,24 +401,44 @@ type node struct {
 	awaiting map[int64]*Walker
 
 	inFlight int64 // migrations sent but not yet counted by their receiver
+
+	// ownsResult marks the node whose snapshot segments carry the process's
+	// result sinks (paths, visits, histogram) and counters: rank 0 under
+	// Run (sinks are process-shared), every rank under RunNode.
+	ownsResult bool
+	// startIter is the superstep the node resumes from (0 for a fresh run).
+	startIter int
+	// resumed marks a node restored from a checkpoint, which must re-issue
+	// the outstanding queries of its awaiting walkers before the first
+	// exchange.
+	resumed bool
 }
 
-func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoint, counters *stats.Counters, res *Result) *node {
+func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoint, counters *stats.Counters, res *Result, ownsResult bool) (*node, error) {
 	n := &node{
-		rank:     rank,
-		cfg:      cfg,
-		g:        cfg.Graph,
-		alg:      cfg.Algorithm,
-		part:     part,
-		ep:       ep,
-		counters: counters,
-		res:      res,
-		awaiting: make(map[int64]*Walker),
+		rank:       rank,
+		cfg:        cfg,
+		g:          cfg.Graph,
+		alg:        cfg.Algorithm,
+		part:       part,
+		ep:         ep,
+		counters:   counters,
+		res:        res,
+		awaiting:   make(map[int64]*Walker),
+		ownsResult: ownsResult,
 	}
 	n.lo, n.hi = part.Range(rank)
 	n.buildSamplers()
-	n.seedWalkers()
-	return n
+	if cfg.Restore != nil {
+		restoreStart := time.Now()
+		if err := n.restoreSnapshot(cfg.Restore); err != nil {
+			return nil, err
+		}
+		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds())
+	} else {
+		n.seedWalkers()
+	}
+	return n, nil
 }
 
 // buildSamplers precomputes the per-vertex static samplers (alias tables
@@ -494,6 +593,10 @@ func (o *outBufs) flush(ep transport.Endpoint) {
 // describes.
 func (n *node) run() (iterations, lightIters int, err error) {
 	twoRound := n.alg.higherOrder()
+	iterations = n.startIter
+	if n.resumed {
+		n.resendPendingQueries()
+	}
 	for {
 		iterations++
 		if iterations > n.cfg.MaxIterations {
@@ -554,6 +657,18 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		}
 		if global == 0 {
 			return iterations, lightIters, nil
+		}
+
+		// Checkpoint at the barrier: every migration sent up to this
+		// superstep has been delivered and folded into some rank's walker
+		// list, no responses are outstanding, and the only in-flight
+		// records — this superstep's state queries — are re-derivable from
+		// the parked walkers' pending darts. The cut is therefore fully
+		// described by the per-rank walker sets.
+		if n.checkpointDue(iterations) {
+			if err := n.writeCheckpoint(iterations); err != nil {
+				return iterations, lightIters, err
+			}
 		}
 		if !twoRound {
 			continue
@@ -732,6 +847,8 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 				w.awaiting = true
 				w.pendingEdge = int32(p.EdgeIdx)
 				w.pendingY = p.Y
+				w.pendingTarget = target
+				w.pendingArg = arg
 				out.addQuery(n.part.Owner(target), w.ID, target, arg)
 				n.counters.Queries.Add(1)
 				return true, true

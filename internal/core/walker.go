@@ -9,6 +9,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"knightking/internal/graph"
 	"knightking/internal/rng"
@@ -56,12 +57,20 @@ type Walker struct {
 	// query is outstanding.
 	pendingEdge int32
 	pendingY    float64
+	// pendingTarget / pendingArg record the outstanding query itself so a
+	// checkpointed walker can re-issue it verbatim on resume.
+	pendingTarget graph.VertexID
+	pendingArg    uint64
 }
 
 // rngWords gives codec access to the walker RNG state.
 func rngWords(r *rng.Rand) *[4]uint64 { return r.State() }
 
 const walkerFixedLen = 8 + 4 + 4 + 4 + 4 + 4 + 32 + 1 + 1 + 2 // ID,Cur,Prev,Step,Tag,Origin,R,flags,histLen,pathLen
+
+// pendingLen is the extra record length for awaiting walkers (checkpoint
+// segments only): pendingEdge, pendingY, pendingTarget, pendingArg.
+const pendingLen = 4 + 8 + 4 + 8
 
 // InHistory reports whether v is among the walker's tracked recent
 // vertices (requires Algorithm.HistorySize > 0 to be maintained).
@@ -75,8 +84,10 @@ func (w *Walker) InHistory(v graph.VertexID) bool {
 }
 
 // encodeWalker appends w's wire form to buf and returns the extended slice.
-// Only fields meaningful across a migration are carried: a walker never
-// migrates while awaiting a query, so the pending dart is not encoded.
+// A walker never migrates while awaiting a query, so migration records
+// carry no pending-dart bytes; checkpoint segments reuse the same codec and
+// do encode awaiting walkers, whose records grow by pendingLen bytes
+// (flag bit 1) so the dart and its outstanding query survive a resume.
 func encodeWalker(buf []byte, w *Walker) []byte {
 	var tmp [walkerFixedLen]byte
 	binary.LittleEndian.PutUint64(tmp[0:], uint64(w.ID))
@@ -93,6 +104,9 @@ func encodeWalker(buf []byte, w *Walker) []byte {
 	if w.sampling {
 		flags |= 1
 	}
+	if w.awaiting {
+		flags |= 2
+	}
 	tmp[60] = flags
 	if len(w.History) > 255 {
 		panic(fmt.Sprintf("core: history length %d exceeds wire limit", len(w.History)))
@@ -103,6 +117,14 @@ func encodeWalker(buf []byte, w *Walker) []byte {
 	}
 	binary.LittleEndian.PutUint16(tmp[62:], uint16(len(w.Path)))
 	buf = append(buf, tmp[:]...)
+	if w.awaiting {
+		var pb [pendingLen]byte
+		binary.LittleEndian.PutUint32(pb[0:], uint32(w.pendingEdge))
+		binary.LittleEndian.PutUint64(pb[4:], math.Float64bits(w.pendingY))
+		binary.LittleEndian.PutUint32(pb[12:], w.pendingTarget)
+		binary.LittleEndian.PutUint64(pb[16:], w.pendingArg)
+		buf = append(buf, pb[:]...)
+	}
 	for _, v := range w.History {
 		var vb [4]byte
 		binary.LittleEndian.PutUint32(vb[:], v)
@@ -134,13 +156,24 @@ func decodeWalker(buf []byte) (*Walker, []byte, error) {
 	for i := range st {
 		st[i] = binary.LittleEndian.Uint64(buf[28+8*i:])
 	}
-	if buf[60]&^byte(1) != 0 {
+	if buf[60]&^byte(3) != 0 {
 		return nil, nil, fmt.Errorf("core: unknown walker flag bits %#x", buf[60])
 	}
 	w.sampling = buf[60]&1 != 0
+	w.awaiting = buf[60]&2 != 0
 	histLen := int(buf[61])
 	pathLen := int(binary.LittleEndian.Uint16(buf[62:]))
 	buf = buf[walkerFixedLen:]
+	if w.awaiting {
+		if len(buf) < pendingLen {
+			return nil, nil, fmt.Errorf("core: truncated walker pending dart")
+		}
+		w.pendingEdge = int32(binary.LittleEndian.Uint32(buf[0:]))
+		w.pendingY = math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
+		w.pendingTarget = binary.LittleEndian.Uint32(buf[12:])
+		w.pendingArg = binary.LittleEndian.Uint64(buf[16:])
+		buf = buf[pendingLen:]
+	}
 	if histLen > 0 {
 		if len(buf) < 4*histLen {
 			return nil, nil, fmt.Errorf("core: truncated walker history")

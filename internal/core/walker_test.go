@@ -46,6 +46,47 @@ func TestWalkerCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWalkerCodecAwaitingRoundTrip(t *testing.T) {
+	w := &Walker{
+		ID:            7,
+		Cur:           3,
+		Prev:          2,
+		Step:          5,
+		R:             *rng.New(123),
+		Path:          []graph.VertexID{1, 2, 3},
+		History:       []graph.VertexID{1, 2},
+		sampling:      true,
+		awaiting:      true,
+		pendingEdge:   4,
+		pendingY:      0.728515625,
+		pendingTarget: 2,
+		pendingArg:    9,
+	}
+	buf := encodeWalker(nil, w)
+	got, rest, err := decodeWalker(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !got.awaiting || !got.sampling {
+		t.Fatalf("awaiting/sampling flags lost: %+v", got)
+	}
+	if got.pendingEdge != w.pendingEdge || got.pendingY != w.pendingY ||
+		got.pendingTarget != w.pendingTarget || got.pendingArg != w.pendingArg {
+		t.Fatalf("pending dart mangled: %+v vs %+v", got, w)
+	}
+	if len(got.History) != 2 || got.History[1] != 2 {
+		t.Fatalf("history mangled: %v", got.History)
+	}
+	// Awaiting records are larger by exactly the pending block; the flag
+	// and length bytes stay canonical (decode→encode must reproduce buf).
+	if again := encodeWalker(nil, got); string(again) != string(buf) {
+		t.Fatal("awaiting record does not re-encode canonically")
+	}
+}
+
 func TestWalkerCodecEmptyPath(t *testing.T) {
 	w := &Walker{ID: 1, Cur: 2, R: *rng.New(1)}
 	buf := encodeWalker(nil, w)

@@ -40,6 +40,16 @@ type Counters struct {
 	Restarts atomic.Int64
 	// Terminations counts walkers that finished their walk.
 	Terminations atomic.Int64
+	// Checkpoints counts committed checkpoints (manifests written).
+	Checkpoints atomic.Int64
+	// CheckpointBytes counts snapshot segment bytes written.
+	CheckpointBytes atomic.Int64
+	// CheckpointNanos accumulates wall time spent encoding and writing
+	// snapshot segments (summed across ranks).
+	CheckpointNanos atomic.Int64
+	// RestoreNanos accumulates wall time spent loading checkpointed state
+	// back into the engine on resume.
+	RestoreNanos atomic.Int64
 }
 
 // Snapshot is a plain copy of the counter values.
@@ -54,6 +64,11 @@ type Snapshot struct {
 	Steps         int64
 	Restarts      int64
 	Terminations  int64
+
+	Checkpoints     int64
+	CheckpointBytes int64
+	CheckpointNanos int64
+	RestoreNanos    int64
 }
 
 // Snapshot copies the current counter values.
@@ -69,7 +84,51 @@ func (c *Counters) Snapshot() Snapshot {
 		Steps:         c.Steps.Load(),
 		Restarts:      c.Restarts.Load(),
 		Terminations:  c.Terminations.Load(),
+
+		Checkpoints:     c.Checkpoints.Load(),
+		CheckpointBytes: c.CheckpointBytes.Load(),
+		CheckpointNanos: c.CheckpointNanos.Load(),
+		RestoreNanos:    c.RestoreNanos.Load(),
 	}
+}
+
+// Restore overwrites the counters with a previously captured snapshot, the
+// inverse of Snapshot. Used when resuming a run from a checkpoint so that
+// post-resume activity accumulates on top of pre-crash totals.
+func (c *Counters) Restore(s Snapshot) {
+	c.EdgeProbEvals.Store(s.EdgeProbEvals)
+	c.Trials.Store(s.Trials)
+	c.PreAccepts.Store(s.PreAccepts)
+	c.AppendixHits.Store(s.AppendixHits)
+	c.Queries.Store(s.Queries)
+	c.Messages.Store(s.Messages)
+	c.BytesSent.Store(s.BytesSent)
+	c.Steps.Store(s.Steps)
+	c.Restarts.Store(s.Restarts)
+	c.Terminations.Store(s.Terminations)
+	c.Checkpoints.Store(s.Checkpoints)
+	c.CheckpointBytes.Store(s.CheckpointBytes)
+	c.CheckpointNanos.Store(s.CheckpointNanos)
+	c.RestoreNanos.Store(s.RestoreNanos)
+}
+
+// Add accumulates a snapshot into the counters (used when merging per-rank
+// checkpoint snapshots into a shared counter set).
+func (c *Counters) Add(s Snapshot) {
+	c.EdgeProbEvals.Add(s.EdgeProbEvals)
+	c.Trials.Add(s.Trials)
+	c.PreAccepts.Add(s.PreAccepts)
+	c.AppendixHits.Add(s.AppendixHits)
+	c.Queries.Add(s.Queries)
+	c.Messages.Add(s.Messages)
+	c.BytesSent.Add(s.BytesSent)
+	c.Steps.Add(s.Steps)
+	c.Restarts.Add(s.Restarts)
+	c.Terminations.Add(s.Terminations)
+	c.Checkpoints.Add(s.Checkpoints)
+	c.CheckpointBytes.Add(s.CheckpointBytes)
+	c.CheckpointNanos.Add(s.CheckpointNanos)
+	c.RestoreNanos.Add(s.RestoreNanos)
 }
 
 // Reset zeroes all counters.
@@ -84,6 +143,10 @@ func (c *Counters) Reset() {
 	c.Steps.Store(0)
 	c.Restarts.Store(0)
 	c.Terminations.Store(0)
+	c.Checkpoints.Store(0)
+	c.CheckpointBytes.Store(0)
+	c.CheckpointNanos.Store(0)
+	c.RestoreNanos.Store(0)
 }
 
 // EdgesPerStep returns EdgeProbEvals/Steps, the paper's edges/step metric
@@ -207,6 +270,44 @@ func (h *Histogram) Bucket(i int) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.buckets[i]
+}
+
+// HistogramState is a plain copy of a histogram's internals, used to
+// serialize it into a checkpoint segment.
+type HistogramState struct {
+	Buckets []int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// State captures the histogram for serialization.
+func (h *Histogram) State() HistogramState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets := make([]int64, len(h.buckets))
+	copy(buckets, h.buckets)
+	return HistogramState{Buckets: buckets, Count: h.count, Sum: h.sum, Max: h.max}
+}
+
+// AddState merges a previously captured state into h (checkpoint restore).
+// The bucket layouts must match, which they do whenever the run is resumed
+// with the same algorithm configuration.
+func (h *Histogram) AddState(s HistogramState) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: histogram has %d buckets, restored state has %d", len(h.buckets), len(s.Buckets))
+	}
+	for i, b := range s.Buckets {
+		h.buckets[i] += b
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+	return nil
 }
 
 // Quantile returns the smallest value v such that at least q of the mass is

@@ -29,6 +29,52 @@ func TestCountersSnapshotAndReset(t *testing.T) {
 	}
 }
 
+func TestCountersRestoreAndAdd(t *testing.T) {
+	var c Counters
+	c.Steps.Add(3)
+	c.Restore(Snapshot{Steps: 10, Queries: 2, Checkpoints: 1, CheckpointBytes: 64})
+	s := c.Snapshot()
+	if s.Steps != 10 || s.Queries != 2 || s.Checkpoints != 1 || s.CheckpointBytes != 64 {
+		t.Fatalf("after Restore: %+v", s)
+	}
+	c.Add(Snapshot{Steps: 5, Queries: 1, RestoreNanos: 7})
+	s = c.Snapshot()
+	if s.Steps != 15 || s.Queries != 3 || s.RestoreNanos != 7 {
+		t.Fatalf("after Add: %+v", s)
+	}
+	c.Reset()
+	if c.Snapshot() != (Snapshot{}) {
+		t.Fatal("reset left checkpoint counters set")
+	}
+}
+
+func TestHistogramStateRoundTrip(t *testing.T) {
+	h := NewHistogram(8)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	st := h.State()
+	if st.Count != 3 || st.Sum != 7 || st.Max != 3 {
+		t.Fatalf("state = %+v", st)
+	}
+
+	h2 := NewHistogram(8)
+	h2.Observe(5)
+	if err := h2.AddState(st); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Count() != 4 || h2.Max() != 5 || h2.Bucket(3) != 2 {
+		t.Fatalf("after AddState: count=%d max=%d", h2.Count(), h2.Max())
+	}
+	if got := h2.Mean(); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+
+	if err := NewHistogram(4).AddState(st); err == nil {
+		t.Fatal("AddState accepted mismatched bucket counts")
+	}
+}
+
 func TestEdgesPerStepZeroSteps(t *testing.T) {
 	var s Snapshot
 	if s.EdgesPerStep() != 0 || s.TrialsPerStep() != 0 {

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the sentinel error a Faulty endpoint returns when its
+// programmed crash fires. Callers (the crash-injection test harness) match
+// it with errors.Is.
+var ErrInjected = errors.New("transport: injected fault")
+
+// Faulty wraps an endpoint so that its FailAt-th Exchange call (1-based)
+// fails instead of completing. Firing also closes the underlying endpoint,
+// which under both the in-process and TCP transports tears the whole group
+// down — peers blocked in Exchange return errors — mimicking how a node
+// death stalls and then aborts a bulk-synchronous job. A FailAt of 0 never
+// fires.
+//
+// The wrapper exists so tests can kill a simulated rank at a chosen point
+// and prove that run-to-completion is equivalent to crash-plus-resume from
+// the latest checkpoint (see internal/checkpoint).
+type Faulty struct {
+	Endpoint
+
+	mu        sync.Mutex
+	exchanges int
+	failAt    int
+	fired     bool
+}
+
+// NewFaulty wraps ep to fail its failAt-th Exchange call.
+func NewFaulty(ep Endpoint, failAt int) *Faulty {
+	return &Faulty{Endpoint: ep, failAt: failAt}
+}
+
+// Exchange counts the call and either fires the programmed crash or
+// delegates to the wrapped endpoint.
+func (f *Faulty) Exchange() ([]Message, error) {
+	f.mu.Lock()
+	f.exchanges++
+	fire := !f.fired && f.failAt > 0 && f.exchanges >= f.failAt
+	if fire {
+		f.fired = true
+	}
+	count := f.exchanges
+	f.mu.Unlock()
+	if fire {
+		f.Endpoint.Close()
+		return nil, fmt.Errorf("%w: rank %d died at exchange %d", ErrInjected, f.Rank(), count)
+	}
+	return f.Endpoint.Exchange()
+}
+
+// Exchanges returns how many Exchange calls the wrapper has seen, letting
+// a harness convert between supersteps and exchange counts.
+func (f *Faulty) Exchanges() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.exchanges
+}
+
+// Fired reports whether the programmed crash has happened.
+func (f *Faulty) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}

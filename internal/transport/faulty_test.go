@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFaultyFiresAtNthExchange(t *testing.T) {
+	eps := NewInProcGroup(2)
+	victim := NewFaulty(eps[0], 3)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			if _, err := victim.Exchange(); err != nil {
+				errs[0] = err
+				return
+			}
+			if i > 10 {
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			if _, err := eps[1].Exchange(); err != nil {
+				errs[1] = err
+				return
+			}
+			if i > 10 {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if !errors.Is(errs[0], ErrInjected) {
+		t.Fatalf("victim error = %v, want ErrInjected", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("peer survived the injected crash; the group should tear down")
+	}
+	if got := victim.Exchanges(); got != 3 {
+		t.Fatalf("victim saw %d exchanges, want 3", got)
+	}
+	if !victim.Fired() {
+		t.Fatal("Fired() = false after the crash")
+	}
+}
+
+func TestFaultyZeroNeverFires(t *testing.T) {
+	eps := NewInProcGroup(1)
+	ep := NewFaulty(eps[0], 0)
+	for i := 0; i < 5; i++ {
+		if _, err := ep.Exchange(); err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+	}
+	if ep.Fired() {
+		t.Fatal("FailAt=0 fired")
+	}
+}
+
+func TestFaultyPassthrough(t *testing.T) {
+	eps := NewInProcGroup(2)
+	a := NewFaulty(eps[0], 0)
+	a.Send(1, 7, []byte("hi"))
+	done := make(chan []Message, 1)
+	go func() {
+		msgs, _ := eps[1].Exchange()
+		done <- msgs
+	}()
+	if _, err := a.Exchange(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := <-done
+	if len(msgs) != 1 || msgs[0].Kind != 7 || string(msgs[0].Payload) != "hi" {
+		t.Fatalf("messages = %+v", msgs)
+	}
+	if a.Rank() != 0 || a.Size() != 2 {
+		t.Fatalf("rank/size passthrough broken: %d/%d", a.Rank(), a.Size())
+	}
+}
