@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench fuzz experiments examples clean
+.PHONY: all build vet test race bench bench-record fuzz experiments examples clean
 
 all: build vet test
 
@@ -19,12 +19,19 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
+# The benchmark set tracked in BENCH_<pr>.json across PRs: the transport
+# exchange hot path plus the in-process engine controls.
+bench-record:
+	go test -run=NONE -bench 'BenchmarkTCPExchangeManySmall|BenchmarkTCPExchange2x64KB|BenchmarkInProcExchange4x64KB' -benchmem -count=3 ./internal/transport/
+	go test -run=NONE -bench 'BenchmarkEngineDeepWalk4Nodes|BenchmarkEngineNode2Vec4Nodes' -benchmem ./internal/core/
+
 # Short fuzz pass over every fuzz target.
 fuzz:
 	go test -run=Fuzz -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph/
 	go test -run=Fuzz -fuzz=FuzzReadBinary -fuzztime=15s ./internal/graph/
 	go test -run=Fuzz -fuzz=FuzzEdgeListRoundTrip -fuzztime=15s ./internal/graph/
 	go test -run=Fuzz -fuzz=FuzzDecodeWalker -fuzztime=15s ./internal/core/
+	go test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=15s ./internal/transport/
 	go test -run=Fuzz -fuzz=FuzzReadManifest -fuzztime=15s ./internal/checkpoint/
 	go test -run=Fuzz -fuzz=FuzzRead -fuzztime=15s ./internal/trace/
 

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"knightking/internal/alg"
 	"knightking/internal/checkpoint"
@@ -55,6 +56,7 @@ func main() {
 		rank       = flag.Int("rank", -1, "multi-process mode: this process's rank")
 		peers      = flag.String("peers", "", "multi-process mode: comma-separated listen addresses of all ranks, in rank order")
 		noLight    = flag.Bool("nolight", false, "disable straggler-aware light mode")
+		netTimeout = flag.Duration("net-timeout", 0, "fail any exchange barrier not completing within this duration (0 = wait forever); also sets TCP read/write deadlines in multi-process mode")
 		ckptDir    = flag.String("checkpoint-dir", "", "snapshot walk state into this directory")
 		ckptEvery  = flag.Int("checkpoint-every", 16, "supersteps between checkpoints")
 		resume     = flag.Bool("resume", false, "resume from the latest complete checkpoint in -checkpoint-dir")
@@ -143,6 +145,7 @@ func main() {
 		CountVisits:     *visits != "",
 		LightThreshold:  lt,
 		PartitionStarts: partStarts,
+		NetTimeout:      *netTimeout,
 	}
 
 	if *resume && *ckptDir == "" {
@@ -182,7 +185,10 @@ func main() {
 		// Real multi-process deployment: every rank runs this binary with
 		// the same flags plus its own -rank; results here cover only this
 		// rank's share (walkers that terminated locally).
-		ep, derr := transport.DialTCPGroup(*rank, peerAddrs)
+		ep, derr := transport.DialTCPGroupOpts(*rank, peerAddrs, transport.TCPOptions{
+			ReadTimeout:  *netTimeout,
+			WriteTimeout: *netTimeout,
+		})
 		if derr != nil {
 			fatalf("join cluster: %v", derr)
 		}
@@ -205,6 +211,8 @@ func main() {
 		"sampling: %.3f edges/step, %.3f trials/step, %d queries, %d messages, mean length %.1f, max %d\n",
 		c.EdgesPerStep(), c.TrialsPerStep(), c.Queries, c.Messages,
 		res.Lengths.Mean(), res.Lengths.Max())
+	fmt.Fprintf(os.Stderr, "network: %d bytes sent, %.3fs in exchanges\n",
+		c.BytesSent, time.Duration(c.ExchangeNanos).Seconds())
 	if *ckptDir != "" {
 		fmt.Fprintf(os.Stderr,
 			"checkpoint: %d committed, %d bytes, %.3fs snapshotting, %.3fs restoring\n",

@@ -74,6 +74,13 @@ type Config struct {
 	// Endpoints supplies a custom transport group (e.g. TCP); its size
 	// overrides NumNodes. Default: an in-process group of NumNodes.
 	Endpoints []transport.Endpoint
+	// NetTimeout, when positive, bounds every collective Exchange call:
+	// a barrier that does not complete within it (a dead or wedged peer, a
+	// partitioned network) fails the run with transport.ErrTimeout instead
+	// of hanging forever, which makes checkpoint recovery reachable. Zero
+	// disables the guard. Applies on top of any transport-level read/write
+	// deadlines (e.g. transport.TCPOptions).
+	NetTimeout time.Duration
 	// MaxIterations aborts runaway walks (default 10,000,000 supersteps).
 	MaxIterations int
 	// Counters receives engine counters (optional; Result always carries a
@@ -173,6 +180,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		eps = transport.NewInProcGroup(n)
 	}
+	if cfg.NetTimeout > 0 {
+		guarded := make([]transport.Endpoint, len(eps))
+		for i, ep := range eps {
+			guarded[i] = transport.WithExchangeTimeout(ep, cfg.NetTimeout)
+		}
+		eps = guarded
+	}
 	numNodes := len(eps)
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -257,6 +271,7 @@ func RunNode(cfg Config, ep transport.Endpoint) (*Result, error) {
 	if ep == nil {
 		return nil, fmt.Errorf("core: RunNode requires an endpoint")
 	}
+	ep = transport.WithExchangeTimeout(ep, cfg.NetTimeout)
 	cfg.Endpoints = nil
 	cfg.NumNodes = ep.Size()
 	if err := cfg.normalize(); err != nil {
@@ -587,6 +602,16 @@ func (o *outBufs) flush(ep transport.Endpoint) {
 	}
 }
 
+// exchange runs one collective exchange, accumulating its wall time (wire
+// transfer plus barrier wait) into the ExchangeNanos counter so that
+// communication cost is separable from compute in run summaries.
+func (n *node) exchange() ([]transport.Message, error) {
+	start := time.Now()
+	msgs, err := n.ep.Exchange()
+	n.counters.ExchangeNanos.Add(time.Since(start).Nanoseconds())
+	return msgs, err
+}
+
 // run executes the BSP superstep loop (paper §5.1). Every superstep has
 // one exchange for static/first-order walks, or two for higher-order walks
 // (queries out + responses back), exactly the structure the paper
@@ -625,7 +650,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		}
 		n.inFlight = 0
 
-		msgs, err := n.ep.Exchange()
+		msgs, err := n.exchange()
 		if err != nil {
 			return iterations, lightIters, err
 		}
@@ -635,6 +660,9 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		for _, m := range msgs {
 			switch m.Kind {
 			case kCount:
+				if len(m.Payload) != 8 {
+					return iterations, lightIters, fmt.Errorf("core: malformed count message (%d bytes) from rank %d", len(m.Payload), m.From)
+				}
 				global += int64(binary.LittleEndian.Uint64(m.Payload))
 			case kMigrate:
 				if err := n.receiveWalkers(m.Payload); err != nil {
@@ -666,6 +694,14 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		// the parked walkers' pending darts. The cut is therefore fully
 		// described by the per-rank walker sets.
 		if n.checkpointDue(iterations) {
+			// The checkpoint barrier is an extra Exchange, and under the
+			// transport's ownership contract that invalidates this
+			// superstep's received payloads. The query batches are still
+			// needed by phase B, so move them out of the recyclable frame
+			// buffers first.
+			for i := range queryMsgs {
+				queryMsgs[i].Payload = append([]byte(nil), queryMsgs[i].Payload...)
+			}
 			if err := n.writeCheckpoint(iterations); err != nil {
 				return iterations, lightIters, err
 			}
@@ -681,7 +717,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			return iterations, lightIters, err
 		}
 
-		msgs, err = n.ep.Exchange()
+		msgs, err = n.exchange()
 		if err != nil {
 			return iterations, lightIters, err
 		}

@@ -26,7 +26,7 @@ import (
 // Snapshot segment blob layout (little-endian):
 //
 //	0   magic "KKS1"
-//	4   version   u16 (= 1)
+//	4   version   u16 (= 2; v2 appended the ExchangeNanos counter word)
 //	6   flags     u16 (bit 0: result+counters section present)
 //	8   rank      u32
 //	12  numRanks  u32
@@ -40,7 +40,7 @@ import (
 //	... result section (counters, length histogram, visits, paths)
 const (
 	snapMagic     = "KKS1"
-	snapVersion   = 1
+	snapVersion   = 2
 	snapHeaderLen = 64
 
 	snapFlagResults = 1 << 0
@@ -92,7 +92,7 @@ func (n *node) writeCheckpoint(iteration int) error {
 	// A rank that failed its write still enters the barrier (skipping it
 	// would deadlock the collective) but sends no descriptor, which rank 0
 	// detects as an incomplete segment set.
-	msgs, err := n.ep.Exchange()
+	msgs, err := n.exchange()
 	if err != nil {
 		return err
 	}
@@ -482,13 +482,14 @@ func parseSnapshotHeader(blob []byte) (snapHeader, error) {
 // counterWords flattens a counter snapshot into a fixed-order word list.
 // The order is part of the segment format; append new counters at the end
 // and bump snapVersion when changing it.
-const numCounterWords = 14
+const numCounterWords = 15
 
 func counterWords(s stats.Snapshot) []int64 {
 	return []int64{
 		s.EdgeProbEvals, s.Trials, s.PreAccepts, s.AppendixHits, s.Queries,
 		s.Messages, s.BytesSent, s.Steps, s.Restarts, s.Terminations,
 		s.Checkpoints, s.CheckpointBytes, s.CheckpointNanos, s.RestoreNanos,
+		s.ExchangeNanos,
 	}
 }
 
@@ -498,6 +499,7 @@ func wordsToCounters(w []int64) stats.Snapshot {
 		Queries: w[4], Messages: w[5], BytesSent: w[6], Steps: w[7],
 		Restarts: w[8], Terminations: w[9], Checkpoints: w[10],
 		CheckpointBytes: w[11], CheckpointNanos: w[12], RestoreNanos: w[13],
+		ExchangeNanos: w[14],
 	}
 }
 

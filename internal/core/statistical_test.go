@@ -126,3 +126,146 @@ func TestNode2vecDegeneratesToUnbiasedWalk(t *testing.T) {
 		t.Fatalf("worst relative deviation %v from degree-proportional stationary", worst)
 	}
 }
+
+// node2vecAlg builds the node2vec walk inline (this package cannot import
+// internal/alg without a cycle), replicating alg.Node2Vec's Pd semantics:
+// 1/p for the return edge, 1 for edges closing a triangle with the previous
+// vertex, 1/q otherwise, with the first step sampled by Ps alone.
+func node2vecAlg(p, q float64, length int) *Algorithm {
+	invP, invQ := 1/p, 1/q
+	fullBound := math.Max(math.Max(1, invP), invQ)
+	return &Algorithm{
+		Name:     "n2v-inline",
+		MaxSteps: length,
+		EdgeDynamicComp: func(w *Walker, e graph.Edge, result uint64, hasResult bool) float64 {
+			if w.Step == 0 {
+				return fullBound
+			}
+			if e.Dst == w.Prev {
+				return invP
+			}
+			if !hasResult {
+				panic("n2v-inline: non-return Pd requires a query result")
+			}
+			if result != 0 {
+				return 1
+			}
+			return invQ
+		},
+		UpperBound: func(*graph.Graph, graph.VertexID) float64 { return fullBound },
+		PostQuery: func(w *Walker, e graph.Edge) (graph.VertexID, uint64, bool) {
+			if w.Step == 0 || e.Dst == w.Prev {
+				return 0, 0, false
+			}
+			return w.Prev, uint64(e.Dst), true
+		},
+	}
+}
+
+// TestNode2vecSecondOrderChiSquare is an exact distributional check of the
+// distributed second-order machinery: over a multi-rank node2vec run, the
+// observed next-vertex counts at every (prev, cur) context are tested with
+// a chi-square statistic against the closed-form transition distribution
+// weight(x) ∝ 1/p · [x = prev] + 1 · [prev~x] + 1/q · [otherwise]. A biased
+// remote-query path (wrong adjacency answers, walker state corrupted across
+// migrations, RNG stream mixups) shifts these conditionals even when
+// first-order stationary checks still pass.
+func TestNode2vecSecondOrderChiSquare(t *testing.T) {
+	const (
+		p, q    = 2.0, 0.5
+		length  = 48
+		walkers = 2500
+	)
+	g := gen.UniformDegree(60, 6, 61)
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   node2vecAlg(p, q, length),
+		NumWalkers:  walkers,
+		NumNodes:    4,
+		Seed:        63,
+		RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Queries == 0 {
+		t.Fatal("no remote state queries; the second-order path was not exercised")
+	}
+
+	// Tally observed transitions per context (prev, cur) → next.
+	type context struct{ prev, cur graph.VertexID }
+	observed := make(map[context]map[graph.VertexID]int)
+	for _, path := range res.Paths {
+		for i := 1; i+1 < len(path); i++ {
+			ctx := context{path[i-1], path[i]}
+			m := observed[ctx]
+			if m == nil {
+				m = make(map[graph.VertexID]int)
+				observed[ctx] = m
+			}
+			m[path[i+1]]++
+		}
+	}
+
+	// Chi-square against the exact conditional at each context, pooling all
+	// contexts into one aggregate statistic. Contexts whose smallest expected
+	// cell is below 5 are skipped (standard chi-square applicability bound).
+	invP, invQ := 1/p, 1/q
+	var chi2 float64
+	df := 0
+	contexts, skipped := 0, 0
+	for ctx, counts := range observed {
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		// Exact next-vertex distribution (parallel edges pooled by vertex).
+		probs := make(map[graph.VertexID]float64)
+		total := 0.0
+		for _, x := range g.Neighbors(ctx.cur) {
+			var w float64
+			switch {
+			case x == ctx.prev:
+				w = invP
+			case g.HasEdge(ctx.prev, x):
+				w = 1
+			default:
+				w = invQ
+			}
+			probs[x] += w
+			total += w
+		}
+		minExp := math.Inf(1)
+		for _, w := range probs {
+			if e := float64(n) * w / total; e < minExp {
+				minExp = e
+			}
+		}
+		if minExp < 5 {
+			skipped++
+			continue
+		}
+		for x, w := range probs {
+			e := float64(n) * w / total
+			d := float64(counts[x]) - e
+			chi2 += d * d / e
+		}
+		df += len(probs) - 1
+		contexts++
+	}
+	if contexts < 100 {
+		t.Fatalf("only %d contexts had enough mass for the test (%d skipped); increase walkers", contexts, skipped)
+	}
+	// For large df, chi-square is ~N(df, 2df); 6 sigma keeps the false
+	// positive rate negligible while catching any systematic bias.
+	limit := float64(df) + 6*math.Sqrt(2*float64(df))
+	t.Logf("chi2 = %.1f over df = %d (%d contexts, %d skipped), limit %.1f", chi2, df, contexts, skipped, limit)
+	if chi2 > limit {
+		t.Fatalf("chi2 = %.1f exceeds %.1f at df = %d: observed transitions deviate from the exact second-order distribution", chi2, limit, df)
+	}
+	// A far-too-small statistic would mean the test is vacuous (e.g. the
+	// observed counts were derived from the expectation itself).
+	if chi2 < float64(df)-6*math.Sqrt(2*float64(df)) {
+		t.Fatalf("chi2 = %.1f implausibly small for df = %d", chi2, df)
+	}
+}

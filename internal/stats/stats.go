@@ -50,6 +50,10 @@ type Counters struct {
 	// RestoreNanos accumulates wall time spent loading checkpointed state
 	// back into the engine on resume.
 	RestoreNanos atomic.Int64
+	// ExchangeNanos accumulates wall time spent inside transport Exchange
+	// calls (communication + barrier wait, summed across ranks) — the
+	// denominator for separating network cost from compute.
+	ExchangeNanos atomic.Int64
 }
 
 // Snapshot is a plain copy of the counter values.
@@ -69,6 +73,7 @@ type Snapshot struct {
 	CheckpointBytes int64
 	CheckpointNanos int64
 	RestoreNanos    int64
+	ExchangeNanos   int64
 }
 
 // Snapshot copies the current counter values.
@@ -89,6 +94,7 @@ func (c *Counters) Snapshot() Snapshot {
 		CheckpointBytes: c.CheckpointBytes.Load(),
 		CheckpointNanos: c.CheckpointNanos.Load(),
 		RestoreNanos:    c.RestoreNanos.Load(),
+		ExchangeNanos:   c.ExchangeNanos.Load(),
 	}
 }
 
@@ -110,6 +116,7 @@ func (c *Counters) Restore(s Snapshot) {
 	c.CheckpointBytes.Store(s.CheckpointBytes)
 	c.CheckpointNanos.Store(s.CheckpointNanos)
 	c.RestoreNanos.Store(s.RestoreNanos)
+	c.ExchangeNanos.Store(s.ExchangeNanos)
 }
 
 // Add accumulates a snapshot into the counters (used when merging per-rank
@@ -129,6 +136,7 @@ func (c *Counters) Add(s Snapshot) {
 	c.CheckpointBytes.Add(s.CheckpointBytes)
 	c.CheckpointNanos.Add(s.CheckpointNanos)
 	c.RestoreNanos.Add(s.RestoreNanos)
+	c.ExchangeNanos.Add(s.ExchangeNanos)
 }
 
 // Reset zeroes all counters.
@@ -147,6 +155,7 @@ func (c *Counters) Reset() {
 	c.CheckpointBytes.Store(0)
 	c.CheckpointNanos.Store(0)
 	c.RestoreNanos.Store(0)
+	c.ExchangeNanos.Store(0)
 }
 
 // EdgesPerStep returns EdgeProbEvals/Steps, the paper's edges/step metric

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fuzzLimits are deliberately small so the fuzzer exercises the limit
+// checks, not just the happy path.
+var fuzzLimits = frameLimits{maxMessages: 1 << 10, maxFrameBytes: 1 << 16}
+
+// frameBytes encodes a frame through the production encoder, for seeds.
+func frameBytes(t interface{ Fatal(...interface{}) }, round uint64, msgs []Message) []byte {
+	var b bytes.Buffer
+	if err := encodeFrame(&b, round, msgs); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzReadFrame throws arbitrary bytes at the TCP frame decoder. It must
+// never panic and never allocate beyond the configured limits, and
+// whatever it accepts must re-encode to exactly the bytes it consumed
+// (the codec is canonical). Before this target existed, readFrame did
+// `make([]byte, plen)` with plen straight off the wire.
+func FuzzReadFrame(f *testing.F) {
+	const round = 42
+	// A healthy two-message frame.
+	f.Add(frameBytes(f, round, []Message{
+		{Kind: 1, Payload: []byte("hello")},
+		{Kind: 2, Payload: nil},
+	}))
+	// Truncated header.
+	f.Add([]byte{42, 0, 0})
+	// Round mismatch.
+	f.Add(frameBytes(f, round+1, []Message{{Kind: 1, Payload: []byte("x")}}))
+	// Oversized payload length: count 1, then kind 0 and plen 0xffffffff.
+	over := frameBytes(f, round, nil)
+	over[8] = 1
+	f.Add(append(over, 0, 0xff, 0xff, 0xff, 0xff))
+	// Hostile message count with no data behind it.
+	huge := frameBytes(f, round, nil)
+	binary.LittleEndian.PutUint32(huge[8:12], 0xffffffff)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		msgs, _, err := decodeFrame(r, 1, round, fuzzLimits, nil)
+		if err != nil {
+			return
+		}
+		if uint32(len(msgs)) > fuzzLimits.maxMessages {
+			t.Fatalf("decoded %d messages past the limit %d", len(msgs), fuzzLimits.maxMessages)
+		}
+		total := 0
+		for _, m := range msgs {
+			if m.From != 1 {
+				t.Fatalf("message From = %d, want 1", m.From)
+			}
+			total += len(m.Payload)
+		}
+		if total > fuzzLimits.maxFrameBytes {
+			t.Fatalf("decoded %d payload bytes past the limit %d", total, fuzzLimits.maxFrameBytes)
+		}
+		consumed := data[:len(data)-r.Len()]
+		re := frameBytes(t, round, msgs)
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("re-encode differs from consumed bytes:\n got %x\nwant %x", re, consumed)
+		}
+	})
+}
+
+// TestDecodeFrameLimits pins the two bounded-decode rejections with
+// deterministic inputs (the fuzz target covers the space around them).
+func TestDecodeFrameLimits(t *testing.T) {
+	lim := frameLimits{maxMessages: 4, maxFrameBytes: 64}
+
+	tooMany := frameBytes(t, 0, nil)
+	binary.LittleEndian.PutUint32(tooMany[8:12], 5)
+	if _, _, err := decodeFrame(bytes.NewReader(tooMany), 0, 0, lim, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized count error = %v, want ErrFrameTooLarge", err)
+	}
+
+	// A single message claiming 65 payload bytes against a 64-byte budget.
+	big := frameBytes(t, 0, nil)
+	big[8] = 1
+	big = append(big, 7, 65, 0, 0, 0)
+	if _, _, err := decodeFrame(bytes.NewReader(big), 0, 0, lim, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized payload error = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Cumulative overflow: two 40-byte messages against a 64-byte budget.
+	two := frameBytes(t, 0, []Message{
+		{Kind: 1, Payload: make([]byte, 40)},
+		{Kind: 1, Payload: make([]byte, 40)},
+	})
+	if _, _, err := decodeFrame(bytes.NewReader(two), 0, 0, lim, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("cumulative overflow error = %v, want ErrFrameTooLarge", err)
+	}
+
+	// The same frames decode fine under default limits.
+	if _, _, err := decodeFrame(bytes.NewReader(two), 0, 0,
+		frameLimits{maxMessages: DefaultMaxMessages, maxFrameBytes: DefaultMaxFrameBytes}, nil); err != nil {
+		t.Fatalf("frame within default limits rejected: %v", err)
+	}
+}

@@ -1,0 +1,194 @@
+// Tests for the transport hardening layer: read/write deadlines, the
+// exchange-timeout guard, and the pooled-payload ownership contract.
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialTCPGroupAllOpts is dialTCPGroupAll with explicit options.
+func dialTCPGroupAllOpts(t *testing.T, n int, opts TCPOptions) []Endpoint {
+	t.Helper()
+	addrs := freeAddrs(t, n)
+	eps := make([]Endpoint, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := DialTCPGroupOpts(i, addrs, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			eps[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Cleanup(func() {
+		for _, e := range eps {
+			if e != nil {
+				e.Close()
+			}
+		}
+	})
+	return eps
+}
+
+// TestTCPStalledPeerTimesOut: a peer that is alive but never enters
+// Exchange (it sends no frame and closes nothing) used to hang the
+// barrier forever — readFrame had no deadline, so io.ReadFull blocked
+// indefinitely and checkpoint recovery could never kick in. With
+// ReadTimeout set, Exchange must surface ErrTimeout within the budget.
+func TestTCPStalledPeerTimesOut(t *testing.T) {
+	const timeout = 300 * time.Millisecond
+	eps := dialTCPGroupAllOpts(t, 2, TCPOptions{ReadTimeout: timeout})
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		eps[0].Send(1, 1, []byte("hello"))
+		_, err := eps[0].Exchange()
+		done <- err
+	}()
+	// Rank 1 stalls: never calls Exchange, never closes.
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("stalled peer error = %v, want ErrTimeout", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*timeout {
+			t.Fatalf("timeout took %v, budget was %v", elapsed, timeout)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("exchange with stalled peer hung despite read deadline")
+	}
+}
+
+// TestExchangeTimeoutGuardStalledRank: the transport-agnostic guard turns
+// an in-process barrier hang (one rank never arrives) into ErrTimeout and
+// tears the group down so other waiters unblock too.
+func TestExchangeTimeoutGuardStalledRank(t *testing.T) {
+	eps := NewInProcGroup(3)
+	guarded := WithExchangeTimeout(eps[0], 200*time.Millisecond)
+
+	errs := make(chan error, 2)
+	go func() {
+		_, err := guarded.Exchange()
+		errs <- err
+	}()
+	go func() {
+		_, err := eps[1].Exchange() // unguarded waiter, unblocked by teardown
+		errs <- err
+	}()
+	// Rank 2 never arrives.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("waiter returned nil error after guard fired")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("guard did not unblock the barrier")
+		}
+	}
+}
+
+// TestExchangeTimeoutGuardPassthrough: a healthy exchange under the guard
+// delivers exactly what the raw endpoint would.
+func TestExchangeTimeoutGuardPassthrough(t *testing.T) {
+	eps := NewInProcGroup(2)
+	a := WithExchangeTimeout(eps[0], time.Minute)
+	b := WithExchangeTimeout(eps[1], time.Minute)
+	if WithExchangeTimeout(eps[0], 0) != eps[0] {
+		t.Fatal("zero timeout should return the endpoint unchanged")
+	}
+	runGroup(t, []Endpoint{a, b}, func(e Endpoint) error {
+		e.Send(1-e.Rank(), 9, []byte{byte(e.Rank())})
+		msgs, err := e.Exchange()
+		if err != nil {
+			return err
+		}
+		if len(msgs) != 1 || msgs[0].Payload[0] != byte(1-e.Rank()) {
+			return fmt.Errorf("guarded exchange mangled delivery: %+v", msgs)
+		}
+		return nil
+	})
+}
+
+// TestTCPWriteTimeout: a peer that reads nothing while we push more data
+// than the kernel buffers absorb must fail the write deadline rather than
+// block forever.
+func TestTCPWriteTimeout(t *testing.T) {
+	eps := dialTCPGroupAllOpts(t, 2, TCPOptions{
+		ReadTimeout:  2 * time.Second,
+		WriteTimeout: 300 * time.Millisecond,
+	})
+	big := make([]byte, 64<<20) // far beyond socket buffers
+	done := make(chan error, 1)
+	go func() {
+		eps[0].Send(1, 1, big)
+		_, err := eps[0].Exchange()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("unread bulk write error = %v, want ErrTimeout", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("write to non-reading peer hung despite write deadline")
+	}
+}
+
+// TestTCPPayloadValidAcrossRound asserts the ownership contract from the
+// consumer side: payloads are intact and independent within a round (the
+// shared frame buffer must not let one message bleed into another), and
+// recycling across many rounds of varying sizes never corrupts data.
+func TestTCPPayloadValidAcrossRound(t *testing.T) {
+	eps := dialTCPGroupAll(t, 2)
+	runGroup(t, eps, func(e Endpoint) error {
+		for round := 0; round < 8; round++ {
+			// Vary message sizes per round to force pool reuse and growth.
+			n := 1 + (round*3)%5
+			for k := 0; k < n; k++ {
+				payload := bytes.Repeat([]byte{byte(10*round + k)}, 100*(k+1))
+				e.Send(1-e.Rank(), uint8(k), payload)
+			}
+			msgs, err := e.Exchange()
+			if err != nil {
+				return err
+			}
+			if len(msgs) != n {
+				return fmt.Errorf("round %d: got %d messages, want %d", round, len(msgs), n)
+			}
+			for k, m := range msgs {
+				want := bytes.Repeat([]byte{byte(10*round + k)}, 100*(k+1))
+				if !bytes.Equal(m.Payload, want) {
+					return fmt.Errorf("round %d message %d corrupted", round, k)
+				}
+				// Appending to one payload must not clobber its neighbor in
+				// the shared frame buffer.
+				_ = append(m.Payload, 0xff)
+			}
+			for k, m := range msgs {
+				want := bytes.Repeat([]byte{byte(10*round + k)}, 100*(k+1))
+				if !bytes.Equal(m.Payload, want) {
+					return fmt.Errorf("round %d message %d clobbered by neighbor append", round, k)
+				}
+			}
+		}
+		return nil
+	})
+}

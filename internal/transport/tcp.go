@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -10,6 +11,59 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// Defaults for TCPOptions fields left zero.
+const (
+	// DefaultMaxMessages caps the message count one frame may claim.
+	DefaultMaxMessages = 1 << 20
+	// DefaultMaxFrameBytes caps the total payload bytes of one frame (1 GiB).
+	DefaultMaxFrameBytes = 1 << 30
+	// DefaultDialTimeout bounds mesh bring-up per peer.
+	DefaultDialTimeout = 5 * time.Second
+)
+
+// ErrFrameTooLarge is wrapped by decode errors for frames whose on-wire
+// message count or payload size exceeds the configured limits. The check
+// happens before any allocation, so a corrupt or hostile length field
+// cannot OOM the rank.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds decode limits")
+
+// TCPOptions tunes the TCP transport's robustness envelope. The zero
+// value means: no read/write deadlines (wait forever, the pre-hardening
+// behavior), default decode limits, default dial timeout.
+type TCPOptions struct {
+	// ReadTimeout bounds the receipt of any single peer's complete frame
+	// during Exchange. When it expires — a dead or wedged peer — Exchange
+	// returns an error wrapping ErrTimeout instead of hanging the barrier.
+	// Zero disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (header, payloads, and flush).
+	// Zero disables the deadline.
+	WriteTimeout time.Duration
+	// DialTimeout bounds mesh bring-up: the dial-retry window towards each
+	// higher rank and the accept+handshake wait for each lower rank.
+	// Zero selects DefaultDialTimeout.
+	DialTimeout time.Duration
+	// MaxMessages caps the per-frame message count a peer may claim.
+	// Zero selects DefaultMaxMessages.
+	MaxMessages uint32
+	// MaxFrameBytes caps the per-frame total payload bytes.
+	// Zero selects DefaultMaxFrameBytes.
+	MaxFrameBytes int
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.MaxMessages == 0 {
+		o.MaxMessages = DefaultMaxMessages
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return o
+}
 
 // tcpEndpoint implements Endpoint over one TCP connection per peer, with a
 // handshake identifying ranks and one length-prefixed frame per peer per
@@ -27,6 +81,7 @@ import (
 //	  payload [len]byte
 type tcpEndpoint struct {
 	rank, size int
+	opts       TCPOptions
 
 	mu     sync.Mutex
 	outbox [][]Message // per destination rank
@@ -35,18 +90,31 @@ type tcpEndpoint struct {
 	readers []*bufio.Reader
 	writers []*bufio.Writer
 
+	// frameBufs holds the pooled per-peer payload buffers backing the
+	// previous Exchange's returned messages; they are recycled at the next
+	// Exchange, which is what the Endpoint payload-ownership contract
+	// licenses.
+	frameBufs [][]byte
+
 	round    uint64
 	closed   atomic.Bool
 	sentMsgs atomic.Int64
 	sentByte atomic.Int64
 }
 
-// DialTCPGroup joins a TCP exchange group. addrs lists the listen address
-// of every rank, in rank order; the caller must run one DialTCPGroup per
-// rank (typically in separate processes — tests use one process). Rank i
-// listens on addrs[i], accepts connections from lower ranks, and dials
-// higher ranks. The returned endpoint is ready once the full mesh is up.
+// DialTCPGroup joins a TCP exchange group with default options. addrs
+// lists the listen address of every rank, in rank order; the caller must
+// run one DialTCPGroup per rank (typically in separate processes — tests
+// use one process). Rank i listens on addrs[i], accepts connections from
+// lower ranks, and dials higher ranks. The returned endpoint is ready once
+// the full mesh is up.
 func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
+	return DialTCPGroupOpts(rank, addrs, TCPOptions{})
+}
+
+// DialTCPGroupOpts is DialTCPGroup with explicit deadline and decode
+// limits.
+func DialTCPGroupOpts(rank int, addrs []string, opts TCPOptions) (Endpoint, error) {
 	n := len(addrs)
 	if rank < 0 || rank >= n {
 		return nil, fmt.Errorf("transport: rank %d out of %d", rank, n)
@@ -54,6 +122,7 @@ func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
 	e := &tcpEndpoint{
 		rank:    rank,
 		size:    n,
+		opts:    opts.withDefaults(),
 		outbox:  make([][]Message, n),
 		conns:   make([]net.Conn, n),
 		readers: make([]*bufio.Reader, n),
@@ -68,6 +137,9 @@ func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
 	}
 	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(e.opts.DialTimeout))
+	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
@@ -82,6 +154,7 @@ func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
 				errs <- fmt.Errorf("transport: accept: %w", err)
 				return
 			}
+			conn.SetDeadline(time.Now().Add(e.opts.DialTimeout))
 			var peer uint32
 			if err := binary.Read(conn, binary.LittleEndian, &peer); err != nil {
 				errs <- fmt.Errorf("transport: handshake read: %w", err)
@@ -91,6 +164,7 @@ func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
 				errs <- fmt.Errorf("transport: bad handshake rank %d", peer)
 				return
 			}
+			conn.SetDeadline(time.Time{})
 			e.setConn(int(peer), conn)
 		}
 	}()
@@ -100,15 +174,17 @@ func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
 	go func() {
 		defer wg.Done()
 		for i := rank + 1; i < n; i++ {
-			conn, err := dialRetry(addrs[i], 5*time.Second)
+			conn, err := dialRetry(addrs[i], e.opts.DialTimeout)
 			if err != nil {
 				errs <- fmt.Errorf("transport: dial %s: %w", addrs[i], err)
 				return
 			}
+			conn.SetDeadline(time.Now().Add(e.opts.DialTimeout))
 			if err := binary.Write(conn, binary.LittleEndian, uint32(rank)); err != nil {
 				errs <- fmt.Errorf("transport: handshake write: %w", err)
 				return
 			}
+			conn.SetDeadline(time.Time{})
 			e.setConn(i, conn)
 		}
 	}()
@@ -159,6 +235,12 @@ func (e *tcpEndpoint) Send(to int, kind uint8, payload []byte) {
 	e.sentByte.Add(int64(len(payload)))
 }
 
+// Exchange writes this round's frames to all peers and reads all peers'
+// frames concurrently — one reader goroutine per peer, so frames are
+// consumed as they arrive off the wire instead of in rank order (no
+// head-of-line blocking on a slow first peer). Delivery order remains
+// deterministic: the collected messages are assembled in sender-rank
+// order before returning.
 func (e *tcpEndpoint) Exchange() ([]Message, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("transport: exchange on closed endpoint")
@@ -168,7 +250,15 @@ func (e *tcpEndpoint) Exchange() ([]Message, error) {
 	e.round++
 	out := e.outbox
 	e.outbox = make([][]Message, e.size)
+	recycle := e.frameBufs
+	e.frameBufs = nil
 	e.mu.Unlock()
+
+	// The previous round's payloads die here — the ownership contract on
+	// Endpoint says callers may not hold them past this call.
+	for _, b := range recycle {
+		putFrameBuf(b)
+	}
 
 	// Self-delivery short-circuits the wire.
 	received := append([]Message(nil), out[e.rank]...)
@@ -177,97 +267,216 @@ func (e *tcpEndpoint) Exchange() ([]Message, error) {
 		return received, nil
 	}
 
-	// Write frames to all peers concurrently; read frames from all peers
-	// in this goroutine. Concurrent writes prevent a full-duplex deadlock
-	// when kernel buffers fill.
-	writeErrs := make(chan error, e.size)
+	// Writers and readers all run concurrently. Concurrent writes prevent
+	// a full-duplex deadlock when kernel buffers fill; concurrent reads
+	// pipeline frame consumption across peers.
 	var wg sync.WaitGroup
+	writeErrs := make([]error, e.size)
+	frames := make([][]Message, e.size)
+	frameBufs := make([][]byte, e.size)
+	readErrs := make([]error, e.size)
 	for peer := 0; peer < e.size; peer++ {
 		if peer == e.rank {
 			continue
 		}
-		wg.Add(1)
+		wg.Add(2)
 		go func(peer int) {
 			defer wg.Done()
-			writeErrs <- e.writeFrame(peer, round, out[peer])
+			writeErrs[peer] = e.writeFrame(peer, round, out[peer])
+		}(peer)
+		go func(peer int) {
+			defer wg.Done()
+			frames[peer], frameBufs[peer], readErrs[peer] = e.readFrame(peer, round)
 		}(peer)
 	}
-
-	var readErr error
-	for peer := 0; peer < e.size; peer++ {
-		if peer == e.rank {
-			continue
-		}
-		msgs, err := e.readFrame(peer, round)
-		if err != nil {
-			readErr = err
-			break
-		}
-		received = append(received, msgs...)
-	}
 	wg.Wait()
-	close(writeErrs)
-	for err := range writeErrs {
-		if err != nil {
+
+	e.mu.Lock()
+	e.frameBufs = append(e.frameBufs, frameBufs...)
+	e.mu.Unlock()
+
+	for peer := 0; peer < e.size; peer++ {
+		if err := readErrs[peer]; err != nil {
+			return nil, err
+		}
+		if err := writeErrs[peer]; err != nil {
 			return nil, err
 		}
 	}
-	if readErr != nil {
-		return nil, readErr
+	for peer := 0; peer < e.size; peer++ {
+		received = append(received, frames[peer]...)
 	}
 	return received, nil
 }
 
+// writeFrame encodes and flushes one round frame to peer, under the write
+// deadline when one is configured.
 func (e *tcpEndpoint) writeFrame(peer int, round uint64, msgs []Message) error {
+	if d := e.opts.WriteTimeout; d > 0 {
+		e.conns[peer].SetWriteDeadline(time.Now().Add(d))
+		defer e.conns[peer].SetWriteDeadline(time.Time{})
+	}
 	w := e.writers[peer]
+	if err := encodeFrame(w, round, msgs); err != nil {
+		return wrapNetErr(err, "write frame", peer)
+	}
+	if err := w.Flush(); err != nil {
+		return wrapNetErr(err, "flush frame", peer)
+	}
+	return nil
+}
+
+// readFrame reads and decodes one round frame from peer into a pooled
+// buffer, under the read deadline when one is configured. The deadline
+// covers the whole frame: a peer that stops making progress mid-frame
+// surfaces as ErrTimeout.
+func (e *tcpEndpoint) readFrame(peer int, round uint64) ([]Message, []byte, error) {
+	if d := e.opts.ReadTimeout; d > 0 {
+		e.conns[peer].SetReadDeadline(time.Now().Add(d))
+		defer e.conns[peer].SetReadDeadline(time.Time{})
+	}
+	msgs, buf, err := decodeFrame(e.readers[peer], peer, round, frameLimits{
+		maxMessages:   e.opts.MaxMessages,
+		maxFrameBytes: e.opts.MaxFrameBytes,
+	}, getFrameBuf())
+	if err != nil {
+		putFrameBuf(buf)
+		return nil, nil, err
+	}
+	return msgs, buf, nil
+}
+
+// wrapNetErr attributes err to a peer, converting net deadline expiries
+// into ErrTimeout so callers can match them.
+func wrapNetErr(err error, what string, peer int) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("transport: %s, peer %d: %w", what, peer, ErrTimeout)
+	}
+	return fmt.Errorf("transport: %s, peer %d: %w", what, peer, err)
+}
+
+// encodeFrame writes one round frame (header plus msgs) to w. It is the
+// canonical inverse of decodeFrame; both are standalone so the fuzz
+// harness can round-trip them without a live connection.
+func encodeFrame(w io.Writer, round uint64, msgs []Message) error {
 	var hdr [12]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], round)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(msgs)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write frame header to %d: %w", peer, err)
+		return err
 	}
 	var mh [5]byte
 	for _, m := range msgs {
 		mh[0] = m.Kind
 		binary.LittleEndian.PutUint32(mh[1:5], uint32(len(m.Payload)))
 		if _, err := w.Write(mh[:]); err != nil {
-			return fmt.Errorf("transport: write message header to %d: %w", peer, err)
+			return err
 		}
 		if _, err := w.Write(m.Payload); err != nil {
-			return fmt.Errorf("transport: write payload to %d: %w", peer, err)
+			return err
 		}
-	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("transport: flush to %d: %w", peer, err)
 	}
 	return nil
 }
 
-func (e *tcpEndpoint) readFrame(peer int, round uint64) ([]Message, error) {
-	r := e.readers[peer]
+// frameLimits bounds what decodeFrame will accept from the wire before
+// allocating anything.
+type frameLimits struct {
+	maxMessages   uint32
+	maxFrameBytes int
+}
+
+// decodeFrame reads one round frame from r. All payloads land in buf
+// (grown as needed and returned), with the returned messages aliasing it:
+// one buffer per frame instead of one allocation per message. Limits are
+// validated against every on-wire length field before the corresponding
+// allocation, so a corrupt frame yields an error wrapping ErrFrameTooLarge
+// rather than an OOM.
+func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf []byte) ([]Message, []byte, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: read frame header from %d: %w", peer, err)
+		return nil, buf, wrapNetErr(err, "read frame header", peer)
 	}
 	gotRound := binary.LittleEndian.Uint64(hdr[0:8])
-	if gotRound != round {
-		return nil, fmt.Errorf("transport: round mismatch from %d: got %d want %d", peer, gotRound, round)
+	if gotRound != wantRound {
+		return nil, buf, fmt.Errorf("transport: round mismatch from %d: got %d want %d", peer, gotRound, wantRound)
 	}
 	count := binary.LittleEndian.Uint32(hdr[8:12])
-	msgs := make([]Message, 0, count)
+	if count > lim.maxMessages {
+		return nil, buf, fmt.Errorf("transport: frame from %d claims %d messages (limit %d): %w",
+			peer, count, lim.maxMessages, ErrFrameTooLarge)
+	}
+	// Spans are resolved into messages only after all payloads are read,
+	// because growing buf may move it. The initial capacity is clamped so
+	// a hostile count field alone cannot force a large allocation.
+	type span struct {
+		kind uint8
+		off  int
+		n    int
+	}
+	capHint := int(count)
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	spans := make([]span, 0, capHint)
 	var mh [5]byte
+	total := 0
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(r, mh[:]); err != nil {
-			return nil, fmt.Errorf("transport: read message header from %d: %w", peer, err)
+			return nil, buf, wrapNetErr(err, "read message header", peer)
 		}
-		plen := binary.LittleEndian.Uint32(mh[1:5])
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil, fmt.Errorf("transport: read payload from %d: %w", peer, err)
+		plen := int(binary.LittleEndian.Uint32(mh[1:5]))
+		if plen > lim.maxFrameBytes || total > lim.maxFrameBytes-plen {
+			return nil, buf, fmt.Errorf("transport: frame from %d exceeds %d payload bytes: %w",
+				peer, lim.maxFrameBytes, ErrFrameTooLarge)
 		}
-		msgs = append(msgs, Message{From: peer, Kind: mh[0], Payload: payload})
+		buf = growFrameBuf(buf, total+plen)
+		if _, err := io.ReadFull(r, buf[total:total+plen]); err != nil {
+			return nil, buf, wrapNetErr(err, "read payload", peer)
+		}
+		spans = append(spans, span{kind: mh[0], off: total, n: plen})
+		total += plen
 	}
-	return msgs, nil
+	msgs := make([]Message, len(spans))
+	for i, s := range spans {
+		// Full slice expressions cap each payload so an append by the
+		// consumer cannot clobber its neighbor.
+		msgs[i] = Message{From: peer, Kind: s.kind, Payload: buf[s.off : s.off+s.n : s.off+s.n]}
+	}
+	return msgs, buf, nil
+}
+
+// framePool recycles whole-frame payload buffers across exchange rounds.
+var framePool = sync.Pool{New: func() interface{} { return []byte(nil) }}
+
+func getFrameBuf() []byte {
+	return framePool.Get().([]byte)[:0]
+}
+
+func putFrameBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	framePool.Put(b[:0])
+}
+
+// growFrameBuf extends b to length n, reallocating geometrically when
+// capacity runs out.
+func growFrameBuf(b []byte, n int) []byte {
+	if n <= cap(b) {
+		return b[:n]
+	}
+	newCap := 2 * cap(b)
+	if newCap < n {
+		newCap = n
+	}
+	if newCap < 4096 {
+		newCap = 4096
+	}
+	nb := make([]byte, n, newCap)
+	copy(nb, b)
+	return nb
 }
 
 func (e *tcpEndpoint) Stats() (int64, int64) {

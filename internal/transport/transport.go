@@ -18,10 +18,19 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrTimeout is the sentinel error wrapped by every deadline failure in
+// this package: a TCP read/write deadline expiring mid-frame, or an
+// exchange-level guard (WithExchangeTimeout) firing because the collective
+// did not complete in time. Callers match it with errors.Is to distinguish
+// a dead-or-wedged peer from data corruption.
+var ErrTimeout = errors.New("transport: deadline exceeded")
 
 // Message is one routed unit. Kind discriminates payload encodings at the
 // layer above; the transport treats Payload as opaque bytes.
@@ -32,24 +41,83 @@ type Message struct {
 }
 
 // Endpoint is one rank's handle on the group.
+//
+// Payload ownership contract: Send transfers ownership of the payload
+// slice to the transport — the caller must not mutate it afterwards.
+// Symmetrically, the payloads of messages returned by Exchange are owned
+// by the caller only until the next Exchange (or Close) call on the same
+// endpoint; implementations may recycle the backing memory after that.
+// Callers needing a payload across rounds must copy it.
 type Endpoint interface {
 	// Rank returns this endpoint's index in [0, Size()).
 	Rank() int
 	// Size returns the number of ranks in the group.
 	Size() int
 	// Send buffers a message for delivery to rank `to` at the next
-	// Exchange. Safe for concurrent use.
+	// Exchange. Safe for concurrent use. The payload slice must not be
+	// mutated after the call.
 	Send(to int, kind uint8, payload []byte)
 	// Exchange is a collective barrier: it blocks until every rank has
 	// entered Exchange, then returns all messages addressed to this rank
 	// that were sent since the previous Exchange (in sender-rank order;
-	// messages from one sender preserve send order).
+	// messages from one sender preserve send order). Returned payloads
+	// remain valid only until the next Exchange or Close call.
 	Exchange() ([]Message, error)
 	// Stats returns cumulative messages and payload bytes sent by this
 	// endpoint.
 	Stats() (messages, bytes int64)
 	// Close releases resources. After Close, Exchange returns an error.
 	Close() error
+}
+
+// guardEndpoint bounds the wall-clock time of each Exchange call on any
+// underlying endpoint, converting an indefinite barrier hang (a peer died
+// without closing its connections, a scheduler wedge, a partitioned
+// network) into a clean error. On timeout it closes the wrapped endpoint,
+// which tears the group down and unblocks every peer stuck in the same
+// barrier — making the checkpoint/recovery path reachable instead of
+// waiting forever.
+type guardEndpoint struct {
+	Endpoint
+	timeout time.Duration
+}
+
+// WithExchangeTimeout wraps ep so that any Exchange call taking longer
+// than d fails with an error wrapping ErrTimeout (and closes ep, tearing
+// down the group). A non-positive d returns ep unchanged.
+// Transport-agnostic: works over the in-process group, TCP, and test
+// wrappers alike.
+func WithExchangeTimeout(ep Endpoint, d time.Duration) Endpoint {
+	if d <= 0 {
+		return ep
+	}
+	return &guardEndpoint{Endpoint: ep, timeout: d}
+}
+
+// Exchange delegates to the wrapped endpoint, bounding its duration.
+func (g *guardEndpoint) Exchange() ([]Message, error) {
+	type result struct {
+		msgs []Message
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		msgs, err := g.Endpoint.Exchange()
+		done <- result{msgs, err}
+	}()
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.msgs, r.err
+	case <-timer.C:
+		// Closing unblocks the inner Exchange (and the rest of the group);
+		// wait for it so no goroutine outlives the call.
+		g.Endpoint.Close()
+		<-done
+		return nil, fmt.Errorf("transport: exchange on rank %d exceeded %v: %w",
+			g.Rank(), g.timeout, ErrTimeout)
+	}
 }
 
 // inprocGroup implements the collective over shared memory.

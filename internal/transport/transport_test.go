@@ -277,9 +277,12 @@ func BenchmarkInProcExchange4x64KB(b *testing.B) {
 	benchExchange(b, NewInProcGroup(4), 64*1024)
 }
 
-func BenchmarkTCPExchange2x64KB(b *testing.B) {
-	addrs := make([]string, 2)
-	lns := make([]net.Listener, 0, 2)
+// dialTCPGroupB brings up a full TCP mesh for a benchmark and registers
+// cleanup.
+func dialTCPGroupB(b *testing.B, n int) []Endpoint {
+	b.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
 	for i := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -291,9 +294,9 @@ func BenchmarkTCPExchange2x64KB(b *testing.B) {
 	for _, ln := range lns {
 		ln.Close()
 	}
-	eps := make([]Endpoint, 2)
+	eps := make([]Endpoint, n)
 	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -306,14 +309,49 @@ func BenchmarkTCPExchange2x64KB(b *testing.B) {
 		}(i)
 	}
 	wg.Wait()
-	defer func() {
+	b.Cleanup(func() {
 		for _, e := range eps {
 			if e != nil {
 				e.Close()
 			}
 		}
-	}()
-	benchExchange(b, eps, 64*1024)
+	})
+	return eps
+}
+
+func BenchmarkTCPExchange2x64KB(b *testing.B) {
+	benchExchange(b, dialTCPGroupB(b, 2), 64*1024)
+}
+
+// BenchmarkTCPExchangeManySmall is the alloc-heavy shape of a real
+// superstep: many small batches per peer per round. It is the benchmark
+// the payload-pooling trajectory (BENCH_*.json) tracks.
+func BenchmarkTCPExchangeManySmall(b *testing.B) {
+	eps := dialTCPGroupB(b, 2)
+	const msgsPerPeer, payload = 256, 1024
+	data := make([]byte, payload)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	for _, e := range eps {
+		wg.Add(1)
+		go func(e Endpoint) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				for to := 0; to < e.Size(); to++ {
+					for k := 0; k < msgsPerPeer; k++ {
+						e.Send(to, 1, data)
+					}
+				}
+				if _, err := e.Exchange(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	b.SetBytes(int64(payload * msgsPerPeer * len(eps) * len(eps)))
 }
 
 func TestTCPPeerFailureSurfacesError(t *testing.T) {
