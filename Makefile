@@ -20,10 +20,12 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # The benchmark set tracked in BENCH_<pr>.json across PRs: the transport
-# exchange hot path plus the in-process engine controls.
+# exchange hot path, the in-process engine controls, and the telemetry
+# run report (edges/step, trials/step, pre-accept ratio, straggler skew).
 bench-record:
 	go test -run=NONE -bench 'BenchmarkTCPExchangeManySmall|BenchmarkTCPExchange2x64KB|BenchmarkInProcExchange4x64KB' -benchmem -count=3 ./internal/transport/
 	go test -run=NONE -bench 'BenchmarkEngineDeepWalk4Nodes|BenchmarkEngineNode2Vec4Nodes' -benchmem ./internal/core/
+	go run ./cmd/kkbench -report
 
 # Short fuzz pass over every fuzz target.
 fuzz:

@@ -15,6 +15,14 @@
 //
 //	kkwalk -graph g.txt -alg node2vec -checkpoint-dir ckpt -checkpoint-every 16
 //	kkwalk -graph g.txt -alg node2vec -checkpoint-dir ckpt -resume
+//
+// Telemetry: -admin-addr serves live /metrics, /statusz, and /debug/pprof
+// while the run is in flight; -spans streams per-superstep phase traces as
+// JSONL; -json replaces the human summary with exactly one machine-parseable
+// report line on stdout:
+//
+//	kkwalk -graph g.txt -alg node2vec -admin-addr localhost:6060 -spans spans.jsonl
+//	kkwalk -graph g.txt -alg node2vec -quiet -json | jq .edges_per_step
 package main
 
 import (
@@ -24,13 +32,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"knightking/internal/alg"
 	"knightking/internal/checkpoint"
 	"knightking/internal/cluster"
 	"knightking/internal/core"
 	"knightking/internal/graph"
+	"knightking/internal/obs"
+	"knightking/internal/stats"
 	"knightking/internal/transport"
 )
 
@@ -60,10 +69,31 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "snapshot walk state into this directory")
 		ckptEvery  = flag.Int("checkpoint-every", 16, "supersteps between checkpoints")
 		resume     = flag.Bool("resume", false, "resume from the latest complete checkpoint in -checkpoint-dir")
+		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /statusz, and /debug/pprof on this host:port while running")
+		spansPath  = flag.String("spans", "", "stream per-superstep span records to this file as JSONL (- = stderr)")
+		jsonOut    = flag.Bool("json", false, "print the end-of-run report as exactly one JSON line on stdout")
+		quiet      = flag.Bool("quiet", false, "suppress the human-readable summary and progress lines on stderr")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		fatalf("-graph is required")
+	}
+	if *jsonOut && (*dump == "-" || *visits == "-") {
+		fatalf("-json owns stdout; write -dump/-visits to a file instead of -")
+	}
+
+	progressf := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+
+	// Telemetry is opt-in: any of the reporting flags builds a registry. The
+	// registry implements every engine hook, so wiring it below is the whole
+	// integration; runs without these flags pay only nil-observer branches.
+	var reg *obs.Registry
+	if *adminAddr != "" || *spansPath != "" || *jsonOut {
+		reg = obs.NewRegistry(nil)
 	}
 
 	multiProcess := *peers != ""
@@ -98,7 +128,7 @@ func main() {
 		lo, hi := part.Range(*rank)
 		g, err = graph.ReadBinarySlice(f, lo, hi)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "rank %d loaded vertex slice [%d,%d): %d local edges\n",
+			progressf("rank %d loaded vertex slice [%d,%d): %d local edges\n",
 				*rank, lo, hi, g.NumEdges())
 		}
 	case *binary:
@@ -148,6 +178,49 @@ func main() {
 		NetTimeout:      *netTimeout,
 	}
 
+	ranks := *nodes
+	if multiProcess {
+		ranks = len(peerAddrs)
+	}
+	if reg != nil {
+		cfg.Counters = reg.Counters()
+		cfg.Observer = reg
+		reg.SetRunInfo(program.Name, g.NumVertices(), g.NumEdges(), ranks)
+	}
+
+	var spansFlush func()
+	if *spansPath != "" {
+		out := os.Stderr
+		if *spansPath != "-" {
+			sf, serr := os.Create(*spansPath)
+			if serr != nil {
+				fatalf("create spans: %v", serr)
+			}
+			out = sf
+		}
+		w := bufio.NewWriter(out)
+		reg.SetSpanWriter(w)
+		spansFlush = func() {
+			if err := w.Flush(); err != nil {
+				fatalf("write spans: %v", err)
+			}
+			if out != os.Stderr {
+				if err := out.Close(); err != nil {
+					fatalf("close spans: %v", err)
+				}
+			}
+		}
+	}
+
+	if *adminAddr != "" {
+		srv, aerr := obs.NewServer(*adminAddr, reg)
+		if aerr != nil {
+			fatalf("%v", aerr)
+		}
+		defer srv.Close()
+		progressf("admin server on http://%s (/metrics /statusz /debug/pprof)\n", srv.Addr())
+	}
+
 	if *resume && *ckptDir == "" {
 		fatalf("-resume requires -checkpoint-dir")
 	}
@@ -166,6 +239,9 @@ func main() {
 		if serr != nil {
 			fatalf("%v", serr)
 		}
+		if reg != nil {
+			store.Observe = reg.ObserveCheckpointSegment
+		}
 		cfg.Checkpoint = store
 		if *resume {
 			cp, lerr := checkpoint.Load(*ckptDir)
@@ -176,7 +252,7 @@ func main() {
 				fatalf("%v", verr)
 			}
 			cfg.Restore = cp.RestoreState()
-			fmt.Fprintf(os.Stderr, "resuming from the superstep-%d checkpoint\n", cp.Iteration)
+			progressf("resuming from the superstep-%d checkpoint\n", cp.Iteration)
 		}
 	}
 
@@ -193,7 +269,7 @@ func main() {
 			fatalf("join cluster: %v", derr)
 		}
 		defer ep.Close()
-		fmt.Fprintf(os.Stderr, "rank %d of %d joined cluster\n", *rank, len(peerAddrs))
+		progressf("rank %d of %d joined cluster\n", *rank, len(peerAddrs))
 		res, err = core.RunNode(cfg, ep)
 	} else {
 		res, err = core.Run(cfg)
@@ -201,23 +277,45 @@ func main() {
 	if err != nil {
 		fatalf("run: %v", err)
 	}
+	if spansFlush != nil {
+		spansFlush()
+	}
 
-	c := res.Counters
-	fmt.Fprintf(os.Stderr,
-		"%s on |V|=%d |E|=%d: %d walkers, %d steps, %d supersteps in %.3fs (setup %.3fs)\n",
-		program.Name, g.NumVertices(), g.NumEdges(), c.Terminations, c.Steps,
-		res.Iterations, res.Duration.Seconds(), res.SetupDuration.Seconds())
-	fmt.Fprintf(os.Stderr,
-		"sampling: %.3f edges/step, %.3f trials/step, %d queries, %d messages, mean length %.1f, max %d\n",
-		c.EdgesPerStep(), c.TrialsPerStep(), c.Queries, c.Messages,
-		res.Lengths.Mean(), res.Lengths.Max())
-	fmt.Fprintf(os.Stderr, "network: %d bytes sent, %.3fs in exchanges\n",
-		c.BytesSent, time.Duration(c.ExchangeNanos).Seconds())
-	if *ckptDir != "" {
-		fmt.Fprintf(os.Stderr,
-			"checkpoint: %d committed, %d bytes, %.3fs snapshotting, %.3fs restoring\n",
-			c.Checkpoints, c.CheckpointBytes,
-			float64(c.CheckpointNanos)/1e9, float64(c.RestoreNanos)/1e9)
+	// res.Counters is the post-join snapshot Run/RunNode took after every
+	// worker goroutine finished, so every cross-field ratio in the report is
+	// exact (the Counters doc's consistency contract; mid-run snapshots from
+	// the admin server are only per-field consistent).
+	effWalkers := *walkers
+	if effWalkers <= 0 {
+		effWalkers = g.NumVertices()
+	}
+	rep := stats.NewReport(res.Counters, stats.RunInfo{
+		Algorithm:   program.Name,
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Ranks:       ranks,
+		Walkers:     int64(effWalkers),
+		Supersteps:  res.Iterations,
+		LightSupers: res.LightIterations,
+		Duration:    res.Duration,
+		Setup:       res.SetupDuration,
+	})
+	if reg != nil {
+		reg.FillReport(&rep)
+	}
+	if !*quiet {
+		if err := rep.WriteHuman(os.Stderr); err != nil {
+			fatalf("write report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "walk length: mean %.1f, max %d\n",
+			res.Lengths.Mean(), res.Lengths.Max())
+	}
+	if *jsonOut {
+		line, jerr := rep.JSONLine()
+		if jerr != nil {
+			fatalf("encode report: %v", jerr)
+		}
+		fmt.Println(line)
 	}
 
 	if *visits != "" {

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/obs"
+	"knightking/internal/stats"
+)
+
+// Report runs the standard telemetry workload — node2vec over a truncated
+// power-law graph, the paper's hardest sampling case — with the full
+// observability stack wired in, and prints the end-of-run stats.Report as
+// one JSON line. `make bench-record` captures this line into BENCH_*.json
+// so perf PRs can diff the machine-independent fields (edges/step,
+// trials/step, pre-accept ratio, straggler skew) alongside the ns/op
+// benchmarks.
+func Report(o Options) error {
+	o = o.defaults()
+	n := o.scaled(20000)
+	g := gen.TruncatedPowerLaw(n, 2, n/10, 2.1, o.Seed)
+	program := alg.Node2Vec(alg.Node2VecParams{
+		P: 2, Q: 0.5, Length: 80, LowerBound: true, FoldOutlier: true,
+	})
+
+	reg := obs.NewRegistry(nil)
+	reg.SetRunInfo(program.Name, g.NumVertices(), g.NumEdges(), o.Nodes)
+	res, err := core.Run(core.Config{
+		Graph:      g,
+		Algorithm:  program,
+		NumNodes:   o.Nodes,
+		NumWalkers: g.NumVertices(),
+		Seed:       o.Seed,
+		Counters:   reg.Counters(),
+		Observer:   reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := stats.NewReport(res.Counters, stats.RunInfo{
+		Algorithm:   program.Name,
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		Ranks:       o.Nodes,
+		Walkers:     int64(g.NumVertices()),
+		Supersteps:  res.Iterations,
+		LightSupers: res.LightIterations,
+		Duration:    res.Duration,
+		Setup:       res.SetupDuration,
+	})
+	reg.FillReport(&rep)
+	line, err := rep.JSONLine()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(o.Out, line)
+	return err
+}

@@ -1,0 +1,54 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWriteSegmentObserve checks the telemetry hook fires once per durably
+// written segment with the blob size, and that a store without the hook
+// still works.
+func TestWriteSegmentObserve(t *testing.T) {
+	store, err := NewStore(t.TempDir(), 1, Meta{Seed: 1, NumWalkers: 2, NumVertices: 3})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+
+	type obsCall struct {
+		rank  int
+		bytes int64
+		d     time.Duration
+	}
+	var calls []obsCall
+	store.Observe = func(rank int, bytes int64, d time.Duration) {
+		calls = append(calls, obsCall{rank, bytes, d})
+	}
+
+	blobs := [][]byte{make([]byte, 100), make([]byte, 37)}
+	for rank, blob := range blobs {
+		if _, err := store.WriteSegment(1, rank, blob); err != nil {
+			t.Fatalf("WriteSegment rank %d: %v", rank, err)
+		}
+	}
+
+	if len(calls) != 2 {
+		t.Fatalf("observed %d segment writes, want 2", len(calls))
+	}
+	for rank, c := range calls {
+		if c.rank != rank {
+			t.Errorf("call %d reported rank %d", rank, c.rank)
+		}
+		if c.bytes != int64(len(blobs[rank])) {
+			t.Errorf("rank %d reported %d bytes, want %d", rank, c.bytes, len(blobs[rank]))
+		}
+		if c.d < 0 {
+			t.Errorf("rank %d reported negative duration %v", rank, c.d)
+		}
+	}
+
+	// No hook: the write path must not care.
+	store.Observe = nil
+	if _, err := store.WriteSegment(2, 0, []byte("x")); err != nil {
+		t.Fatalf("WriteSegment without hook: %v", err)
+	}
+}

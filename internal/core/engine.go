@@ -88,6 +88,13 @@ type Config struct {
 	Counters *stats.Counters
 	// IterLog receives one record per superstep (optional).
 	IterLog *stats.IterationLog
+	// Observer receives per-superstep span records and sampling/query
+	// observations (see observer.go). When it also implements
+	// transport.Observer, every endpoint is wrapped so exchange latency and
+	// frame payload sizes are observed at the transport layer. Nil disables
+	// telemetry; observations never touch walker RNG streams, so enabling
+	// it cannot change walk output.
+	Observer Observer
 	// PartitionAlpha weighs vertices against edges in the 1-D partitioner
 	// (default 1, the paper's |V|+|E| balance).
 	PartitionAlpha float64
@@ -180,6 +187,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		eps = transport.NewInProcGroup(n)
 	}
+	if tobs, ok := cfg.Observer.(transport.Observer); ok {
+		observed := make([]transport.Endpoint, len(eps))
+		for i, ep := range eps {
+			observed[i] = transport.WithObserver(ep, tobs)
+		}
+		eps = observed
+	}
 	if cfg.NetTimeout > 0 {
 		guarded := make([]transport.Endpoint, len(eps))
 		for i, ep := range eps {
@@ -270,6 +284,9 @@ func Run(cfg Config) (*Result, error) {
 func RunNode(cfg Config, ep transport.Endpoint) (*Result, error) {
 	if ep == nil {
 		return nil, fmt.Errorf("core: RunNode requires an endpoint")
+	}
+	if tobs, ok := cfg.Observer.(transport.Observer); ok {
+		ep = transport.WithObserver(ep, tobs)
 	}
 	ep = transport.WithExchangeTimeout(ep, cfg.NetTimeout)
 	cfg.Endpoints = nil
@@ -417,6 +434,15 @@ type node struct {
 
 	inFlight int64 // migrations sent but not yet counted by their receiver
 
+	// obs receives telemetry when Config.Observer is set. The step*
+	// accumulators collect the current superstep's exchange time and
+	// received traffic; they are only touched from the node's loop
+	// goroutine (exchange is never called from workers).
+	obs           Observer
+	stepExchange  int64
+	stepRecvMsgs  int64
+	stepRecvBytes int64
+
 	// ownsResult marks the node whose snapshot segments carry the process's
 	// result sinks (paths, visits, histogram) and counters: rank 0 under
 	// Run (sinks are process-shared), every rank under RunNode.
@@ -441,6 +467,7 @@ func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoi
 		res:        res,
 		awaiting:   make(map[int64]*Walker),
 		ownsResult: ownsResult,
+		obs:        cfg.Observer,
 	}
 	n.lo, n.hi = part.Range(rank)
 	n.buildSamplers()
@@ -608,7 +635,15 @@ func (o *outBufs) flush(ep transport.Endpoint) {
 func (n *node) exchange() ([]transport.Message, error) {
 	start := time.Now()
 	msgs, err := n.ep.Exchange()
-	n.counters.ExchangeNanos.Add(time.Since(start).Nanoseconds())
+	d := time.Since(start).Nanoseconds()
+	n.counters.ExchangeNanos.Add(d)
+	if n.obs != nil {
+		n.stepExchange += d
+		n.stepRecvMsgs += int64(len(msgs))
+		for _, m := range msgs {
+			n.stepRecvBytes += int64(len(m.Payload))
+		}
+	}
 	return msgs, err
 }
 
@@ -634,6 +669,33 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			lightIters++
 		}
 
+		// Span accumulators for this superstep; exchange time and received
+		// traffic land in the node's step* fields via exchange().
+		var computeNanos, ckptNanos, globalCount int64
+		n.stepExchange, n.stepRecvMsgs, n.stepRecvBytes = 0, 0, 0
+		emitSpan := func() {
+			if n.obs == nil {
+				return
+			}
+			barrier := time.Since(start).Nanoseconds() - computeNanos - n.stepExchange - ckptNanos
+			if barrier < 0 {
+				barrier = 0
+			}
+			n.obs.OnSuperstep(SuperstepSpan{
+				Rank:            n.rank,
+				Iteration:       iterations,
+				LightMode:       light,
+				LocalWalkers:    active,
+				GlobalWalkers:   globalCount,
+				RecvMessages:    n.stepRecvMsgs,
+				RecvBytes:       n.stepRecvBytes,
+				ComputeNanos:    computeNanos,
+				ExchangeNanos:   n.stepExchange,
+				BarrierNanos:    barrier,
+				CheckpointNanos: ckptNanos,
+			})
+		}
+
 		// Phase A: local walker processing (trials, local moves, query and
 		// migration generation).
 		parked := n.phaseA(light)
@@ -649,12 +711,14 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			n.ep.Send(dest, kCount, cb[:])
 		}
 		n.inFlight = 0
+		computeNanos += time.Since(start).Nanoseconds()
 
 		msgs, err := n.exchange()
 		if err != nil {
 			return iterations, lightIters, err
 		}
 
+		demuxStart := time.Now()
 		var global int64
 		var queryMsgs []transport.Message
 		for _, m := range msgs {
@@ -674,6 +738,8 @@ func (n *node) run() (iterations, lightIters int, err error) {
 				return iterations, lightIters, fmt.Errorf("core: unexpected message kind %d in round 1", m.Kind)
 			}
 		}
+		globalCount = global
+		computeNanos += time.Since(demuxStart).Nanoseconds()
 
 		if n.rank == 0 && n.cfg.IterLog != nil {
 			n.cfg.IterLog.Append(stats.IterationRecord{
@@ -684,6 +750,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			})
 		}
 		if global == 0 {
+			emitSpan()
 			return iterations, lightIters, nil
 		}
 
@@ -702,20 +769,29 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			for i := range queryMsgs {
 				queryMsgs[i].Payload = append([]byte(nil), queryMsgs[i].Payload...)
 			}
+			// The commit barrier's exchange time belongs to the checkpoint
+			// phase of the span, not the exchange phase.
+			preExchange := n.stepExchange
+			ckptStart := time.Now()
 			if err := n.writeCheckpoint(iterations); err != nil {
 				return iterations, lightIters, err
 			}
+			ckptNanos = time.Since(ckptStart).Nanoseconds()
+			n.stepExchange = preExchange
 		}
 		if !twoRound {
+			emitSpan()
 			continue
 		}
 
 		// Phase B: answer incoming state queries, in parallel chunks (the
 		// paper schedules "chunks of either walkers or messages"; walkers
 		// were phase A, messages are here).
+		phaseBStart := time.Now()
 		if err := n.phaseB(queryMsgs, light); err != nil {
 			return iterations, lightIters, err
 		}
+		computeNanos += time.Since(phaseBStart).Nanoseconds()
 
 		msgs, err = n.exchange()
 		if err != nil {
@@ -723,6 +799,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		}
 
 		// Phase C: resolve pending darts with the returned results.
+		phaseCStart := time.Now()
 		out := newOutBufs(n.ep.Size())
 		for _, m := range msgs {
 			if m.Kind != kResponse {
@@ -734,6 +811,8 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		}
 		n.inFlight += out.migrations
 		out.flush(n.ep) // delivered at next superstep's first exchange
+		computeNanos += time.Since(phaseCStart).Nanoseconds()
+		emitSpan()
 	}
 }
 
@@ -836,6 +915,9 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 		// sampling").
 		n.counters.Trials.Add(1)
 		idx := n.samplerOf(w.Cur).Sample(&w.R)
+		if n.obs != nil {
+			n.obs.ObserveStepTrials(1)
+		}
 		return n.move(w, idx, out), false
 	}
 
@@ -869,12 +951,18 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 			n.counters.EdgeProbEvals.Add(1)
 			prob := rj.AppendixAcceptProb(p, n.samplerOf(w.Cur).WeightAt(idx), pd)
 			if w.R.Bernoulli(prob) {
+				if n.obs != nil {
+					n.obs.ObserveStepTrials(int64(trials) + 1)
+				}
 				return n.move(w, idx, out), false
 			}
 			continue
 		}
 		if p.PreAccepted {
 			n.counters.PreAccepts.Add(1)
+			if n.obs != nil {
+				n.obs.ObserveStepTrials(int64(trials) + 1)
+			}
 			return n.move(w, p.EdgeIdx, out), false
 		}
 		e := n.g.EdgeAt(w.Cur, p.EdgeIdx)
@@ -893,6 +981,9 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 		pd := n.alg.EdgeDynamicComp(w, e, 0, false)
 		n.counters.EdgeProbEvals.Add(1)
 		if rj.AcceptMain(p, pd) {
+			if n.obs != nil {
+				n.obs.ObserveStepTrials(int64(trials) + 1)
+			}
 			return n.move(w, p.EdgeIdx, out), false
 		}
 	}
@@ -923,6 +1014,11 @@ func (n *node) fullScanStep(w *Walker, out *outBufs) (keep bool) {
 		panic(fmt.Sprintf("core: full-scan fallback at vertex %d: %v", w.Cur, err))
 	}
 	n.counters.Trials.Add(1)
+	if n.obs != nil {
+		// The step completed only after FallbackTrials rejected darts plus
+		// the exact draw; record the whole burst.
+		n.obs.ObserveStepTrials(int64(n.alg.fallbackTrials()) + 1)
+	}
 	return n.move(w, its.Sample(&w.R), out)
 }
 
@@ -1003,6 +1099,9 @@ func (n *node) phaseB(queryMsgs []transport.Message, light bool) error {
 			return fmt.Errorf("core: malformed query batch (%d bytes)", len(m.Payload))
 		}
 		total += len(m.Payload) / queryRecordLen
+		if n.obs != nil {
+			n.obs.ObserveQueryBatch(int64(len(m.Payload) / queryRecordLen))
+		}
 	}
 	if total == 0 {
 		return nil
@@ -1112,6 +1211,11 @@ func (n *node) applyResponses(payload []byte, out *outBufs) error {
 		rj := n.rejectionOf(w.Cur)
 		p := sampling.Proposal{EdgeIdx: int(w.pendingEdge), Appendix: -1, Y: w.pendingY}
 		if rj.AcceptMain(p, pd) {
+			// The accepted dart was thrown in an earlier phase A burst whose
+			// count is no longer tracked; observe the resolving dart alone.
+			if n.obs != nil {
+				n.obs.ObserveStepTrials(1)
+			}
 			if !n.move(w, int(w.pendingEdge), out) {
 				n.removeWalker(w)
 			}

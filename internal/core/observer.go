@@ -1,0 +1,69 @@
+// Engine-side telemetry hooks. The engine emits observations through the
+// Observer interface when Config.Observer is set; a nil observer costs one
+// predictable branch per observation point, and no observation ever touches
+// a walker's RNG stream, so enabling telemetry cannot change walk output.
+// internal/obs provides the production implementation (histograms, span
+// log, admin server); the engine only defines the contract.
+package core
+
+// SuperstepSpan is one rank's phase breakdown of one superstep — the
+// engine's per-superstep trace record. Every rank emits one span per
+// superstep it executes (including the final one that observes the global
+// walker count reaching zero), so a run over R ranks and S supersteps
+// yields R×S spans.
+//
+// The four duration fields partition the superstep's wall time:
+//
+//   - ComputeNanos: local walker processing (phase A), received-message
+//     demux, query answering (phase B), and response resolution (phase C).
+//   - ExchangeNanos: time inside transport Exchange calls — wire transfer
+//     plus collective barrier wait, which the transport cannot separate.
+//   - CheckpointNanos: snapshot encoding, segment write, and the extra
+//     commit barrier, on supersteps where a checkpoint is due.
+//   - BarrierNanos: the unattributed residual (total − compute − exchange −
+//     checkpoint), dominated by goroutine scheduling delay around the
+//     barrier; a rank consistently high here is a straggler's victim, not
+//     the straggler itself.
+type SuperstepSpan struct {
+	// Rank is the emitting rank.
+	Rank int `json:"rank"`
+	// Iteration is the 1-based superstep index.
+	Iteration int `json:"superstep"`
+	// LightMode reports whether this rank ran the superstep single-worker.
+	LightMode bool `json:"light"`
+	// LocalWalkers is this rank's resident walker count at phase A start.
+	LocalWalkers int `json:"local_walkers"`
+	// GlobalWalkers is the cluster-wide live count agreed at the barrier
+	// (walkers resident anywhere plus migrations in flight).
+	GlobalWalkers int64 `json:"global_walkers"`
+	// RecvMessages counts transport messages delivered to this rank during
+	// the superstep's exchanges.
+	RecvMessages int64 `json:"recv_msgs"`
+	// RecvBytes counts the payload bytes of those messages.
+	RecvBytes int64 `json:"recv_bytes"`
+
+	ComputeNanos    int64 `json:"compute_ns"`
+	ExchangeNanos   int64 `json:"exchange_ns"`
+	BarrierNanos    int64 `json:"barrier_ns"`
+	CheckpointNanos int64 `json:"checkpoint_ns"`
+}
+
+// Observer receives engine telemetry. Implementations must be safe for
+// concurrent use: OnSuperstep is called by every rank's loop goroutine, and
+// the Observe methods are called from worker goroutines inside a superstep.
+//
+// Observations are passive — they must not block (the engine calls them on
+// hot paths) and they see engine state only through their arguments.
+type Observer interface {
+	// OnSuperstep delivers one rank's completed superstep span.
+	OnSuperstep(span SuperstepSpan)
+	// ObserveStepTrials records the rejection-sampling darts a walker threw
+	// in the burst that completed one step (1 for static walks and
+	// pre-accepted darts; higher under rejection pressure). Only called for
+	// accepted steps, so the histogram's count approximates Steps.
+	ObserveStepTrials(trials int64)
+	// ObserveQueryBatch records the record count of one incoming state-query
+	// batch at the start of phase B — the paper's walker-to-vertex query
+	// traffic, per (sender, receiver) pair per superstep.
+	ObserveQueryBatch(records int64)
+}

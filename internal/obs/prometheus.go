@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"knightking/internal/stats"
+)
+
+// metricPrefix namespaces every exported metric family.
+const metricPrefix = "kk_"
+
+// counterMetric pairs one exported counter with its help text.
+type counterMetric struct {
+	name string
+	help string
+	val  func(stats.Snapshot) int64
+}
+
+// counterMetrics fixes the exported counter families and their order.
+var counterMetrics = []counterMetric{
+	{"edge_prob_evals_total", "Dynamic transition probability (Pd) evaluations.", func(s stats.Snapshot) int64 { return s.EdgeProbEvals }},
+	{"trials_total", "Rejection-sampling darts thrown.", func(s stats.Snapshot) int64 { return s.Trials }},
+	{"pre_accepts_total", "Darts accepted below the lower bound without a Pd evaluation.", func(s stats.Snapshot) int64 { return s.PreAccepts }},
+	{"appendix_hits_total", "Darts landing in outlier appendices.", func(s stats.Snapshot) int64 { return s.AppendixHits }},
+	{"queries_total", "Walker-to-vertex state queries issued.", func(s stats.Snapshot) int64 { return s.Queries }},
+	{"messages_total", "Transport messages sent.", func(s stats.Snapshot) int64 { return s.Messages }},
+	{"bytes_sent_total", "Transport payload bytes sent.", func(s stats.Snapshot) int64 { return s.BytesSent }},
+	{"steps_total", "Successful walker moves.", func(s stats.Snapshot) int64 { return s.Steps }},
+	{"restarts_total", "Restart teleports.", func(s stats.Snapshot) int64 { return s.Restarts }},
+	{"terminations_total", "Walkers that finished their walk.", func(s stats.Snapshot) int64 { return s.Terminations }},
+	{"checkpoints_total", "Committed checkpoints.", func(s stats.Snapshot) int64 { return s.Checkpoints }},
+	{"checkpoint_bytes_total", "Checkpoint segment bytes written.", func(s stats.Snapshot) int64 { return s.CheckpointBytes }},
+	{"checkpoint_nanos_total", "Wall nanoseconds spent snapshotting.", func(s stats.Snapshot) int64 { return s.CheckpointNanos }},
+	{"restore_nanos_total", "Wall nanoseconds spent restoring from checkpoints.", func(s stats.Snapshot) int64 { return s.RestoreNanos }},
+	{"exchange_nanos_total", "Wall nanoseconds inside transport Exchange calls.", func(s stats.Snapshot) int64 { return s.ExchangeNanos }},
+}
+
+// WriteMetrics renders the registry in the Prometheus text exposition
+// format (version 0.0.4): every engine counter as a counter family, the
+// live superstep state as gauges, and every histogram with cumulative
+// power-of-two buckets. Deliberately excludes wall-clock-dependent values
+// like uptime so the rendering of a quiesced registry is deterministic
+// (pinned by the golden test).
+func WriteMetrics(w io.Writer, r *Registry) error {
+	s := r.counters.Snapshot()
+	for _, m := range counterMetrics {
+		if err := writeFamily(w, m.name, m.help, "counter", m.val(s)); err != nil {
+			return err
+		}
+	}
+	if err := writeFamily(w, "superstep", "Highest superstep any rank has completed.", "gauge", r.superstep.Load()); err != nil {
+		return err
+	}
+	if err := writeFamily(w, "active_walkers", "Cluster-wide live walker count at the last barrier.", "gauge", r.activeWalkers.Load()); err != nil {
+		return err
+	}
+	var light int64
+	if r.lightMode.Load() {
+		light = 1
+	}
+	if err := writeFamily(w, "light_mode", "Whether rank 0 ran its last superstep in straggler light mode.", "gauge", light); err != nil {
+		return err
+	}
+	for _, h := range r.Histograms() {
+		if err := writeHistogram(w, h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, name, help, kind string, v int64) error {
+	_, err := fmt.Fprintf(w, "# HELP %[1]s%[2]s %[3]s\n# TYPE %[1]s%[2]s %[4]s\n%[1]s%[2]s %[5]d\n",
+		metricPrefix, name, help, kind, v)
+	return err
+}
+
+// writeHistogram renders one histogram family with cumulative buckets up
+// to the highest non-empty bucket, then the mandatory +Inf bucket, sum,
+// and count.
+func writeHistogram(w io.Writer, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %[1]s%[2]s %[3]s\n# TYPE %[1]s%[2]s histogram\n",
+		metricPrefix, s.Name, s.Help); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i <= s.HighestNonEmpty(); i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s%s_bucket{le=\"%d\"} %d\n",
+			metricPrefix, s.Name, BucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%[1]s%[2]s_bucket{le=\"+Inf\"} %[3]d\n%[1]s%[2]s_sum %[4]d\n%[1]s%[2]s_count %[3]d\n",
+		metricPrefix, s.Name, s.Count, s.Sum)
+	return err
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knightking/internal/core"
+	"knightking/internal/stats"
+)
+
+// Registry is the run-wide telemetry hub: the engine histograms, the
+// per-superstep span log, and the live state the admin server exposes. It
+// implements core.Observer and transport.Observer, and its
+// ObserveCheckpointSegment matches the checkpoint store's Observe hook, so
+// wiring a run is:
+//
+//	reg := obs.NewRegistry(counters)
+//	cfg.Observer = reg            // engine spans + sampling histograms,
+//	                              // transport wrapping is automatic
+//	store.Observe = reg.ObserveCheckpointSegment
+//
+// Under core.Run every simulated rank shares one registry, so cross-rank
+// histogram merging is implicit; multi-process ranks each own a registry
+// and report per-rank (Histogram.Merge folds them when a coordinator
+// gathers blobs). All methods are safe for concurrent use.
+type Registry struct {
+	counters *stats.Counters
+	start    time.Time
+
+	// Engine and transport histograms, fixed at construction.
+	TrialsPerStep   *Histogram // rejection darts per completed walker step
+	QueryBatch      *Histogram // records per incoming phase-B query batch
+	FramePayload    *Histogram // payload bytes per delivered transport message
+	ExchangeLatency *Histogram // nanoseconds per collective Exchange call
+	CheckpointBytes *Histogram // bytes per durably written checkpoint segment
+	CheckpointWrite *Histogram // nanoseconds per checkpoint segment write
+
+	// Live gauges, updated by OnSuperstep.
+	superstep     atomic.Int64
+	activeWalkers atomic.Int64
+	lightMode     atomic.Bool
+
+	metaMu   sync.Mutex
+	alg      string
+	vertices int
+	edges    int64
+	ranks    int
+
+	spanMu       sync.Mutex
+	spans        []core.SuperstepSpan
+	spanEnc      *json.Encoder
+	rankExchange map[int]int64
+	rankCompute  map[int]int64
+}
+
+// NewRegistry creates a registry reading live counter values from c (a new
+// counter set is allocated when c is nil; Counters returns it for wiring
+// into core.Config).
+func NewRegistry(c *stats.Counters) *Registry {
+	if c == nil {
+		c = &stats.Counters{}
+	}
+	return &Registry{
+		counters: c,
+		start:    time.Now(),
+
+		TrialsPerStep:   NewHistogram("trials_per_step", "Rejection-sampling darts thrown per completed walker step."),
+		QueryBatch:      NewHistogram("query_batch_records", "State-query records per incoming phase-B batch."),
+		FramePayload:    NewHistogram("frame_payload_bytes", "Payload bytes per delivered transport message."),
+		ExchangeLatency: NewHistogram("exchange_latency_ns", "Wall nanoseconds per collective Exchange call (wire + barrier wait)."),
+		CheckpointBytes: NewHistogram("checkpoint_segment_bytes", "Bytes per durably written checkpoint segment."),
+		CheckpointWrite: NewHistogram("checkpoint_write_ns", "Wall nanoseconds per checkpoint segment write (including fsync)."),
+
+		rankExchange: make(map[int]int64),
+		rankCompute:  make(map[int]int64),
+	}
+}
+
+// Counters returns the counter set the registry reads from; pass the same
+// set to core.Config so /metrics sees live engine counters.
+func (r *Registry) Counters() *stats.Counters { return r.counters }
+
+// SetRunInfo records the run's shape for /statusz and report filling.
+func (r *Registry) SetRunInfo(algorithm string, vertices int, edges int64, ranks int) {
+	r.metaMu.Lock()
+	r.alg, r.vertices, r.edges, r.ranks = algorithm, vertices, edges, ranks
+	r.metaMu.Unlock()
+}
+
+// SetSpanWriter streams every span to w as one JSON object per line, in
+// arrival order, as the run progresses (a crash loses at most the spans
+// the OS had not flushed). Call before the run starts.
+func (r *Registry) SetSpanWriter(w io.Writer) {
+	r.spanMu.Lock()
+	r.spanEnc = json.NewEncoder(w)
+	r.spanMu.Unlock()
+}
+
+// OnSuperstep implements core.Observer: it appends the span to the log,
+// streams it to the span writer, folds the phase durations into the
+// per-rank totals behind StragglerSkew, and refreshes the live gauges.
+func (r *Registry) OnSuperstep(span core.SuperstepSpan) {
+	if int64(span.Iteration) > r.superstep.Load() {
+		r.superstep.Store(int64(span.Iteration))
+		r.activeWalkers.Store(span.GlobalWalkers)
+	}
+	if span.Rank == 0 {
+		r.lightMode.Store(span.LightMode)
+	}
+	r.spanMu.Lock()
+	r.spans = append(r.spans, span)
+	r.rankExchange[span.Rank] += span.ExchangeNanos
+	r.rankCompute[span.Rank] += span.ComputeNanos
+	enc := r.spanEnc
+	if enc != nil {
+		// Encode inside the lock so concurrent ranks cannot interleave
+		// lines; Encoder appends the newline that makes this JSONL.
+		enc.Encode(span)
+	}
+	r.spanMu.Unlock()
+}
+
+// ObserveStepTrials implements core.Observer.
+func (r *Registry) ObserveStepTrials(trials int64) { r.TrialsPerStep.Observe(trials) }
+
+// ObserveQueryBatch implements core.Observer.
+func (r *Registry) ObserveQueryBatch(records int64) { r.QueryBatch.Observe(records) }
+
+// ObserveExchange implements transport.Observer.
+func (r *Registry) ObserveExchange(d time.Duration, messages int, bytes int64) {
+	r.ExchangeLatency.Observe(d.Nanoseconds())
+}
+
+// ObserveFramePayload implements transport.Observer.
+func (r *Registry) ObserveFramePayload(bytes int) { r.FramePayload.Observe(int64(bytes)) }
+
+// ObserveCheckpointSegment matches checkpoint.Store's Observe hook.
+func (r *Registry) ObserveCheckpointSegment(rank int, bytes int64, d time.Duration) {
+	r.CheckpointBytes.Observe(bytes)
+	r.CheckpointWrite.Observe(d.Nanoseconds())
+}
+
+// Histograms returns the registry's histograms in stable rendering order.
+func (r *Registry) Histograms() []*Histogram {
+	return []*Histogram{
+		r.TrialsPerStep, r.QueryBatch, r.FramePayload,
+		r.ExchangeLatency, r.CheckpointBytes, r.CheckpointWrite,
+	}
+}
+
+// Spans returns a copy of the span log in arrival order.
+func (r *Registry) Spans() []core.SuperstepSpan {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]core.SuperstepSpan, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// StragglerSkew returns max/mean of the per-rank total exchange time — the
+// report's load-balance number. 1.0 is perfectly balanced; 0 means fewer
+// than one rank has reported.
+func (r *Registry) StragglerSkew() float64 {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	return skew(r.rankExchange)
+}
+
+func skew(perRank map[int]int64) float64 {
+	if len(perRank) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, v := range perRank {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(perRank))
+	return float64(max) / mean
+}
+
+// FillReport stamps the registry's cross-rank numbers into a report built
+// by stats.NewReport.
+func (r *Registry) FillReport(rep *stats.Report) {
+	rep.StragglerSkew = r.StragglerSkew()
+}
+
+// HistogramStatus is the /statusz digest of one histogram.
+type HistogramStatus struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Status is the /statusz snapshot of a live (or finished) run.
+type Status struct {
+	Algorithm     string                     `json:"algorithm,omitempty"`
+	Vertices      int                        `json:"vertices,omitempty"`
+	Edges         int64                      `json:"edges,omitempty"`
+	Ranks         int                        `json:"ranks,omitempty"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Superstep     int64                      `json:"superstep"`
+	ActiveWalkers int64                      `json:"active_walkers"`
+	LightMode     bool                       `json:"light_mode"`
+	Spans         int                        `json:"spans"`
+	EdgesPerStep  float64                    `json:"edges_per_step"`
+	StragglerSkew float64                    `json:"straggler_skew"`
+	Counters      stats.Snapshot             `json:"counters"`
+	Histograms    map[string]HistogramStatus `json:"histograms"`
+}
+
+// Status snapshots the live run state. Mid-run values follow the Counters
+// consistency contract: per-field exact, cross-field approximate.
+func (r *Registry) Status() Status {
+	c := r.counters.Snapshot()
+	r.metaMu.Lock()
+	st := Status{
+		Algorithm: r.alg,
+		Vertices:  r.vertices,
+		Edges:     r.edges,
+		Ranks:     r.ranks,
+	}
+	r.metaMu.Unlock()
+	st.UptimeSeconds = time.Since(r.start).Seconds()
+	st.Superstep = r.superstep.Load()
+	st.ActiveWalkers = r.activeWalkers.Load()
+	st.LightMode = r.lightMode.Load()
+	st.EdgesPerStep = c.EdgesPerStep()
+	st.StragglerSkew = r.StragglerSkew()
+	st.Counters = c
+	r.spanMu.Lock()
+	st.Spans = len(r.spans)
+	r.spanMu.Unlock()
+	st.Histograms = make(map[string]HistogramStatus, 6)
+	for _, h := range r.Histograms() {
+		s := h.Snapshot()
+		st.Histograms[s.Name] = HistogramStatus{
+			Count: s.Count,
+			Mean:  s.Mean(),
+			P50:   s.Quantile(0.50),
+			P99:   s.Quantile(0.99),
+			Max:   s.Max,
+		}
+	}
+	return st
+}
+
+// WriteSpansJSONL writes the collected spans as JSONL to w (for callers
+// that prefer a post-run dump over a live SetSpanWriter stream).
+func (r *Registry) WriteSpansJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range r.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("obs: span export: %w", err)
+		}
+	}
+	return nil
+}

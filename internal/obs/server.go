@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the optional HTTP admin endpoint of a run (kkwalk
+// -admin-addr). It serves:
+//
+//	/metrics      Prometheus text exposition of counters, gauges, histograms
+//	/statusz      JSON snapshot of the live superstep/walker/light-mode state
+//	/debug/pprof  the standard Go profiler endpoints
+//	/             a plain-text index of the above
+//
+// The server reads the registry through the same snapshot paths the
+// report uses, so scraping mid-run is safe (per-field consistent) and
+// cannot perturb the walk.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts an admin server on addr (host:port; use port 0 for an
+// ephemeral port, Addr reports the bound one). The listener is open and
+// serving when NewServer returns, so a scrape racing engine startup sees
+// zeroed metrics rather than a connection error.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "knightking admin\n\n/metrics\n/statusz\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetrics(w, reg); err != nil {
+			// Headers are gone; all we can do is drop the connection so the
+			// scraper sees a partial body rather than a silent truncation.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		reg: reg,
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately; in-flight scrapes are dropped.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestAdminServer(t *testing.T) {
+	reg := goldenRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, ctype, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "kk_steps_total 10") {
+		t.Errorf("/metrics missing counter, body:\n%s", body)
+	}
+	if strings.Count(body, "# TYPE") < 15+3+6 {
+		t.Errorf("/metrics family count too low:\n%s", body)
+	}
+
+	code, ctype, body = get(t, base+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/statusz content type = %q", ctype)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if st.Superstep != 3 || st.ActiveWalkers != 42 || !st.LightMode {
+		t.Errorf("/statusz gauges = %+v", st)
+	}
+	if st.Counters.Steps != 10 {
+		t.Errorf("/statusz counters = %+v", st.Counters)
+	}
+	if len(st.Histograms) != 6 {
+		t.Errorf("/statusz has %d histogram digests, want 6", len(st.Histograms))
+	}
+
+	if code, _, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _, body := get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status = %d body = %q", code, body)
+	}
+	if code, _, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}

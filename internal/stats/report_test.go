@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() Report {
+	return NewReport(Snapshot{
+		EdgeProbEvals: 900, Trials: 1200, PreAccepts: 300, AppendixHits: 60,
+		Queries: 70, Messages: 40, BytesSent: 8192, Steps: 1000,
+		Restarts: 5, Terminations: 50,
+		Checkpoints: 2, CheckpointBytes: 4096,
+		CheckpointNanos: int64(50 * time.Millisecond),
+		ExchangeNanos:   int64(200 * time.Millisecond),
+	}, RunInfo{
+		Algorithm: "node2vec", Vertices: 100, Edges: 600, Ranks: 4,
+		Walkers: 50, Supersteps: 20, LightSupers: 3,
+		Duration: 2 * time.Second, Setup: 100 * time.Millisecond,
+	})
+}
+
+func TestNewReportRatios(t *testing.T) {
+	r := sampleReport()
+	if r.EdgesPerStep != 0.9 {
+		t.Errorf("edges/step = %v", r.EdgesPerStep)
+	}
+	if r.TrialsPerStep != 1.2 {
+		t.Errorf("trials/step = %v", r.TrialsPerStep)
+	}
+	if r.PreAcceptRatio != 0.25 {
+		t.Errorf("pre-accept ratio = %v", r.PreAcceptRatio)
+	}
+	if r.AppendixHitRatio != 0.05 {
+		t.Errorf("appendix ratio = %v", r.AppendixHitRatio)
+	}
+	if r.StepsPerSecond != 500 {
+		t.Errorf("steps/s = %v", r.StepsPerSecond)
+	}
+	if r.ExchangeSeconds != 0.2 {
+		t.Errorf("exchange seconds = %v", r.ExchangeSeconds)
+	}
+
+	// Zero steps must not divide by zero.
+	z := NewReport(Snapshot{}, RunInfo{})
+	if z.EdgesPerStep != 0 || z.PreAcceptRatio != 0 || z.StepsPerSecond != 0 {
+		t.Errorf("zero-snapshot report has nonzero ratios: %+v", z)
+	}
+}
+
+// TestJSONLine pins the -json contract: exactly one line, valid JSON,
+// round-tripping every field.
+func TestJSONLine(t *testing.T) {
+	r := sampleReport()
+	r.StragglerSkew = 1.5
+	line, err := r.JSONLine()
+	if err != nil {
+		t.Fatalf("JSONLine: %v", err)
+	}
+	if strings.ContainsAny(line, "\n\r") {
+		t.Errorf("JSONLine contains a newline: %q", line)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back != r {
+		t.Errorf("round trip changed the report:\n got %+v\nwant %+v", back, r)
+	}
+	for _, key := range []string{`"algorithm":"node2vec"`, `"edges_per_step":0.9`, `"straggler_skew":1.5`} {
+		if !strings.Contains(line, key) {
+			t.Errorf("JSON line missing %s: %s", key, line)
+		}
+	}
+}
+
+func TestWriteHuman(t *testing.T) {
+	r := sampleReport()
+	r.StragglerSkew = 2.25
+	var b strings.Builder
+	if err := r.WriteHuman(&b); err != nil {
+		t.Fatalf("WriteHuman: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"node2vec on |V|=100 |E|=600 over 4 ranks",
+		"0.900 edges/step",
+		"25.0% pre-accepted",
+		"straggler skew 2.25",
+		"checkpoint: 2 committed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without telemetry or checkpoints the optional lines disappear.
+	var plain Report
+	plain.Algorithm = "ppr"
+	b.Reset()
+	if err := plain.WriteHuman(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "straggler") || strings.Contains(b.String(), "checkpoint:") {
+		t.Errorf("optional lines rendered for empty report:\n%s", b.String())
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotConsistencyContract pins the documented guarantees of
+// Counters.Snapshot: per-field atomicity and monotonicity while writers are
+// running, and exact totals once they have joined. It deliberately does NOT
+// assert cross-field invariants mid-run (the contract excludes them): a
+// snapshot may see Steps updated but not yet EdgeProbEvals.
+func TestSnapshotConsistencyContract(t *testing.T) {
+	var c Counters
+	const (
+		writers = 4
+		perW    = 50000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Paired increments, as the engine does: a step always
+				// follows its trials.
+				c.Trials.Add(2)
+				c.EdgeProbEvals.Add(1)
+				c.Steps.Add(1)
+			}
+		}()
+	}
+
+	// Reader: successive snapshots must never observe any individual field
+	// decreasing, and every observed value must be one a prefix of the
+	// increments could produce (0 <= v <= final).
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		var prev Snapshot
+		for {
+			s := c.Snapshot()
+			if s.Trials < prev.Trials || s.Steps < prev.Steps || s.EdgeProbEvals < prev.EdgeProbEvals {
+				t.Errorf("snapshot went backwards: %+v after %+v", s, prev)
+				return
+			}
+			if s.Trials > writers*perW*2 || s.Steps > writers*perW {
+				t.Errorf("snapshot overshot the total: %+v", s)
+				return
+			}
+			prev = s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	// Post-join the snapshot is exact, including cross-field invariants.
+	s := c.Snapshot()
+	if s.Steps != writers*perW {
+		t.Errorf("final Steps = %d, want %d", s.Steps, writers*perW)
+	}
+	if s.Trials != 2*s.Steps {
+		t.Errorf("final Trials = %d, want %d", s.Trials, 2*s.Steps)
+	}
+	if s.EdgeProbEvals != s.Steps {
+		t.Errorf("final EdgeProbEvals = %d, want %d", s.EdgeProbEvals, s.Steps)
+	}
+}

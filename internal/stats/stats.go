@@ -17,6 +17,27 @@ import (
 // Counters aggregates engine activity. All fields are safe for concurrent
 // update; read them after a run (or via Snapshot for a consistent-enough
 // view mid-run).
+//
+// # The Snapshot consistency contract
+//
+// Snapshot loads each field with an individual atomic read; it does not
+// stop the engine. That gives exactly two guarantees:
+//
+//  1. per-field atomicity — every value returned was the field's true
+//     value at some instant during the Snapshot call (never a torn word),
+//     and
+//  2. per-field monotonicity — successive Snapshots of a running engine
+//     never observe any individual counter decreasing.
+//
+// It deliberately does NOT guarantee cross-field consistency: the fields
+// are read at slightly different instants, so mid-run invariants that
+// couple fields (e.g. EdgeProbEvals >= Steps, or Trials >= PreAccepts) may
+// be violated by a snapshot taken while workers are between the paired
+// increments. Derived ratios such as EdgesPerStep are therefore
+// approximations mid-run. For exact values — the run report, golden tests,
+// checkpoint segments — snapshot only after the run goroutines have joined
+// (core.Run/RunNode return) or at a superstep barrier, where no worker is
+// mid-update. TestSnapshotConsistencyContract pins this contract.
 type Counters struct {
 	// EdgeProbEvals counts dynamic transition probability (Pd) evaluations.
 	EdgeProbEvals atomic.Int64
@@ -56,7 +77,8 @@ type Counters struct {
 	ExchangeNanos atomic.Int64
 }
 
-// Snapshot is a plain copy of the counter values.
+// Snapshot is a plain copy of the counter values. See the Counters doc for
+// the consistency contract of snapshots taken while the engine is running.
 type Snapshot struct {
 	EdgeProbEvals int64
 	Trials        int64

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type recordingObserver struct {
+	mu        sync.Mutex
+	exchanges int
+	messages  int
+	bytes     int64
+	payloads  []int
+}
+
+func (r *recordingObserver) ObserveExchange(d time.Duration, messages int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d < 0 {
+		panic("negative exchange duration")
+	}
+	r.exchanges++
+	r.messages += messages
+	r.bytes += bytes
+}
+
+func (r *recordingObserver) ObserveFramePayload(bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.payloads = append(r.payloads, bytes)
+}
+
+// TestWithObserver checks that the wrapper reports every delivered message
+// and its payload size, and passes the messages through unchanged.
+func TestWithObserver(t *testing.T) {
+	eps := NewInProcGroup(2)
+	obs := &recordingObserver{}
+	a := WithObserver(eps[0], obs)
+	b := eps[1]
+
+	a.Send(1, 1, []byte("hello"))
+	b.Send(0, 2, []byte("wide world"))
+	b.Send(0, 3, nil)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := b.Exchange(); err != nil {
+			t.Errorf("peer exchange: %v", err)
+		}
+	}()
+	msgs, err := a.Exchange()
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	wg.Wait()
+
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.exchanges != 1 {
+		t.Errorf("observed %d exchanges, want 1", obs.exchanges)
+	}
+	if obs.messages != 2 {
+		t.Errorf("observed %d delivered messages, want 2", obs.messages)
+	}
+	if obs.bytes != int64(len("wide world")) {
+		t.Errorf("observed %d bytes, want %d", obs.bytes, len("wide world"))
+	}
+	if len(obs.payloads) != 2 {
+		t.Fatalf("observed %d frame payloads, want 2", len(obs.payloads))
+	}
+	total := obs.payloads[0] + obs.payloads[1]
+	if total != len("wide world") {
+		t.Errorf("payload sizes %v sum to %d, want %d", obs.payloads, total, len("wide world"))
+	}
+}
+
+// TestWithObserverNil pins that a nil observer leaves the endpoint
+// unwrapped, so the no-telemetry path pays nothing.
+func TestWithObserverNil(t *testing.T) {
+	eps := NewInProcGroup(1)
+	if got := WithObserver(eps[0], nil); got != eps[0] {
+		t.Errorf("WithObserver(ep, nil) wrapped the endpoint")
+	}
+}
+
+// TestWithObserverComposes stacks the observer under the exchange timeout
+// guard, the order core.Run uses, and checks messages still flow.
+func TestWithObserverComposes(t *testing.T) {
+	eps := NewInProcGroup(2)
+	obs := &recordingObserver{}
+	a := WithExchangeTimeout(WithObserver(eps[0], obs), time.Minute)
+
+	eps[1].Send(0, 1, []byte("x"))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := eps[1].Exchange(); err != nil {
+			t.Errorf("peer exchange: %v", err)
+		}
+	}()
+	msgs, err := a.Exchange()
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	wg.Wait()
+	if len(msgs) != 1 || string(msgs[0].Payload) != "x" {
+		t.Fatalf("messages corrupted through the stack: %+v", msgs)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.exchanges != 1 || obs.messages != 1 {
+		t.Errorf("observer missed the exchange: %+v", obs)
+	}
+}

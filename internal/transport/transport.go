@@ -70,6 +70,52 @@ type Endpoint interface {
 	Close() error
 }
 
+// Observer receives transport-level observation points. Implementations
+// must be safe for concurrent use (one endpoint per rank may share an
+// observer) and must not block: the callbacks sit on the exchange path.
+type Observer interface {
+	// ObserveExchange is called once per completed Exchange with its wall
+	// time (wire transfer plus collective barrier wait) and the delivered
+	// message count and payload bytes.
+	ObserveExchange(d time.Duration, messages int, bytes int64)
+	// ObserveFramePayload is called once per delivered message with its
+	// payload size in bytes — the frame-size distribution feeding batching
+	// decisions.
+	ObserveFramePayload(bytes int)
+}
+
+// observedEndpoint reports exchange latency and delivered frame sizes to an
+// Observer. It wraps the raw endpoint directly (inside any exchange-timeout
+// guard) so the observed latency is the transport's own, not the guard's.
+type observedEndpoint struct {
+	Endpoint
+	obs Observer
+}
+
+// WithObserver wraps ep so every Exchange reports its latency and delivered
+// payload sizes to obs. A nil obs returns ep unchanged. Transport-agnostic:
+// works over the in-process group, TCP, and test wrappers alike.
+func WithObserver(ep Endpoint, obs Observer) Endpoint {
+	if obs == nil {
+		return ep
+	}
+	return &observedEndpoint{Endpoint: ep, obs: obs}
+}
+
+// Exchange delegates to the wrapped endpoint, observing the outcome.
+func (o *observedEndpoint) Exchange() ([]Message, error) {
+	start := time.Now()
+	msgs, err := o.Endpoint.Exchange()
+	d := time.Since(start)
+	var bytes int64
+	for _, m := range msgs {
+		o.obs.ObserveFramePayload(len(m.Payload))
+		bytes += int64(len(m.Payload))
+	}
+	o.obs.ObserveExchange(d, len(msgs), bytes)
+	return msgs, err
+}
+
 // guardEndpoint bounds the wall-clock time of each Exchange call on any
 // underlying endpoint, converting an indefinite barrier hang (a peer died
 // without closing its connections, a scheduler wedge, a partitioned

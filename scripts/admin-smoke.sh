@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke-test the kkwalk admin server end to end: start a multi-rank walk
+# with -admin-addr, scrape /metrics and /statusz while it runs, and verify
+# the final -json report carries a non-zero edges/step. Exercises the whole
+# telemetry path (engine hooks -> registry -> HTTP) the way an operator
+# would. Used by CI; runnable locally with `scripts/admin-smoke.sh`.
+set -euo pipefail
+
+PORT="${ADMIN_SMOKE_PORT:-19753}"
+DIR="$(mktemp -d)"
+trap 'kill "$WALK_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/kkgen" ./cmd/kkgen
+go build -o "$DIR/kkwalk" ./cmd/kkwalk
+
+"$DIR/kkgen" -kind powerlaw -n 2000 -min 2 -cap 200 -alpha 2.1 -o "$DIR/g.txt"
+
+# Enough walkers that the run stays alive for several scrapes.
+"$DIR/kkwalk" -graph "$DIR/g.txt" -alg node2vec -nodes 4 -walkers 100000 \
+    -admin-addr "127.0.0.1:$PORT" -quiet -json >"$DIR/report.json" &
+WALK_PID=$!
+
+# Wait for the listener, then scrape both endpoints mid-run.
+for i in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$PORT/" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$WALK_PID" 2>/dev/null; then
+        echo "admin-smoke: kkwalk exited before the admin server answered" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+METRICS="$(curl -sf "http://127.0.0.1:$PORT/metrics")"
+STATUSZ="$(curl -sf "http://127.0.0.1:$PORT/statusz")"
+
+echo "$METRICS" | grep -q '^kk_steps_total' \
+    || { echo "admin-smoke: /metrics missing kk_steps_total" >&2; exit 1; }
+FAMILIES="$(echo "$METRICS" | grep -oE '^kk_[a-z_]+_bucket' | sort -u | wc -l)"
+if [ "$FAMILIES" -lt 4 ]; then
+    echo "admin-smoke: /metrics has $FAMILIES histogram families, want >= 4" >&2
+    exit 1
+fi
+echo "$STATUSZ" | grep -q '"superstep"' \
+    || { echo "admin-smoke: /statusz missing superstep" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/debug/pprof/cmdline" >/dev/null \
+    || { echo "admin-smoke: pprof endpoint failed" >&2; exit 1; }
+
+wait "$WALK_PID"
+
+EPS="$(sed -n 's/.*"edges_per_step":\([0-9.e+-]*\).*/\1/p' "$DIR/report.json")"
+if [ -z "$EPS" ] || [ "$EPS" = "0" ]; then
+    echo "admin-smoke: report edges_per_step empty or zero: $(cat "$DIR/report.json")" >&2
+    exit 1
+fi
+LINES="$(wc -l <"$DIR/report.json")"
+if [ "$LINES" -ne 1 ]; then
+    echo "admin-smoke: -json emitted $LINES lines, want exactly 1" >&2
+    exit 1
+fi
+
+echo "admin-smoke: OK ($FAMILIES histogram families, edges/step $EPS)"
