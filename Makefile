@@ -1,14 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-record fuzz experiments examples clean
+.PHONY: all build vet lint test race bench bench-record fuzz experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# kklint enforces the determinism and ownership contracts (see
+# CONTRIBUTING.md "Contract checking with kklint"). Run standalone for the
+# audit listing of //kk:nondet-ok waivers: `go run ./cmd/kklint -waivers ./...`.
+lint:
+	go build -o bin/kklint ./cmd/kklint
+	go vet -vettool=$(CURDIR)/bin/kklint ./...
 
 test:
 	go test ./...

@@ -1,0 +1,96 @@
+// kklint is the repo's contract checker: a multichecker bundling the
+// detrand, payloadown, and atomiccounter analyzers (see internal/lint).
+//
+// Two ways to run it:
+//
+//	kklint ./...                         # standalone, from the module root
+//	go vet -vettool=$(pwd)/bin/kklint ./...   # as a vet tool (make lint)
+//
+// Standalone flags:
+//
+//	-waivers   also print every accepted //kk:nondet-ok waiver
+//
+// Exit status: 0 clean, 1 findings or errors.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"knightking/internal/lint/analysis"
+	"knightking/internal/lint/atomiccounter"
+	"knightking/internal/lint/detrand"
+	"knightking/internal/lint/driver"
+	"knightking/internal/lint/payloadown"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		payloadown.Analyzer,
+		atomiccounter.Analyzer,
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet handshake: `kklint -V=full` prints a versioned build ID,
+	// `kklint -flags` lists the tool's analyzer flags (none), and a single
+	// *.cfg argument means cmd/go is driving one compilation unit.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			code := driver.Unitchecker(analyzers(), args[0], os.Stderr)
+			if code == 1 {
+				os.Exit(1)
+			}
+			if code != 0 {
+				os.Exit(2)
+			}
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("kklint", flag.ExitOnError)
+	waivers := fs.Bool("waivers", false, "print accepted //kk:nondet-ok waivers after the diagnostics")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kklint [-waivers] [packages]\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if code := driver.Standalone(analyzers(), patterns, *waivers, os.Stdout, os.Stderr); code != 0 {
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the line cmd/go's toolID parser expects from a
+// vettool: `name version devel ... buildID=<content id>`, where the
+// content id fingerprints this binary so vet results are cached per
+// build of the checker.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	name = strings.TrimSuffix(name, ".exe")
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", name, id)
+}

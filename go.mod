@@ -1,3 +1,7 @@
 module knightking
 
 go 1.22
+
+// Pinned so vet/kklint/govulncheck results are reproducible across
+// machines and CI; update deliberately, not via whatever is on PATH.
+toolchain go1.24.0

@@ -113,14 +113,14 @@ func Run(cfg Config) (*Result, error) {
 
 	// Static pre-computation (only meaningful for static walks; dynamic
 	// walks cannot precompute, which is the whole point).
-	setupStart := time.Now()
+	setupStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	var static *staticTables
 	if cfg.Dynamic == nil {
 		static = buildStaticTables(g, cfg.Biased, cfg.MirrorNodes)
 	}
-	res.SetupDuration = time.Since(setupStart)
+	res.SetupDuration = time.Since(setupStart) //kk:nondet-ok telemetry-only timing; never feeds walk state
 
-	walkStart := time.Now()
+	walkStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -159,7 +159,7 @@ func Run(cfg Config) (*Result, error) {
 		}()
 	}
 	wg.Wait()
-	res.Duration = time.Since(walkStart)
+	res.Duration = time.Since(walkStart) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	res.Counters = counters.Snapshot()
 	return res, nil
 }

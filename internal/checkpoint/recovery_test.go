@@ -80,7 +80,7 @@ func assertSameWalk(t *testing.T, want, got *core.Result) {
 	}
 	w, g := want.Counters, got.Counters
 	for _, c := range []struct {
-		name       string
+		name      string
 		want, got int64
 	}{
 		{"Steps", w.Steps, g.Steps},

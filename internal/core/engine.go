@@ -216,12 +216,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res := newResult(&cfg)
 
-	setupStart := time.Now()
+	setupStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	if cfg.Restore != nil {
 		// One process hosts every rank, so this process owns the whole
 		// result set: merge the result sections of every segment (one for a
 		// Run-written checkpoint, one per rank for a RunNode-written one).
-		restoreStart := time.Now()
+		restoreStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		ranks := make([]int, numNodes)
 		for i := range ranks {
 			ranks[i] = i
@@ -229,7 +229,7 @@ func Run(cfg Config) (*Result, error) {
 		if err := applyRestoredResults(cfg.Restore, ranks, res, counters); err != nil {
 			return nil, err
 		}
-		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds())
+		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds()) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	}
 	nodes := make([]*node, numNodes)
 	for rank := 0; rank < numNodes; rank++ {
@@ -239,9 +239,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		nodes[rank] = n
 	}
-	res.SetupDuration = time.Since(setupStart)
+	res.SetupDuration = time.Since(setupStart) //kk:nondet-ok telemetry-only timing; never feeds walk state
 
-	walkStart := time.Now()
+	walkStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	var iterations atomic.Int64
 	var lightIters atomic.Int64
 	err = cluster.Run(eps, func(rank int, ep transport.Endpoint) error {
@@ -253,7 +253,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return err
 	})
-	res.Duration = time.Since(walkStart)
+	res.Duration = time.Since(walkStart) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	if err != nil {
 		return nil, err
 	}
@@ -304,26 +304,26 @@ func RunNode(cfg Config, ep transport.Endpoint) (*Result, error) {
 	}
 	res := newResult(&cfg)
 
-	setupStart := time.Now()
+	setupStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	if cfg.Restore != nil {
 		// Each process owns only its rank's share of the results; merging
 		// exactly the rank-matching result section keeps cluster-wide sums
 		// correct without double counting across processes.
-		restoreStart := time.Now()
+		restoreStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		if err := applyRestoredResults(cfg.Restore, []int{ep.Rank()}, res, counters); err != nil {
 			return nil, err
 		}
-		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds())
+		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds()) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	}
 	n, err := newNode(ep.Rank(), &cfg, part, ep, counters, res, true)
 	if err != nil {
 		return nil, err
 	}
-	res.SetupDuration = time.Since(setupStart)
+	res.SetupDuration = time.Since(setupStart) //kk:nondet-ok telemetry-only timing; never feeds walk state
 
-	walkStart := time.Now()
+	walkStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	iters, light, runErr := n.run()
-	res.Duration = time.Since(walkStart)
+	res.Duration = time.Since(walkStart) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -472,11 +472,11 @@ func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoi
 	n.lo, n.hi = part.Range(rank)
 	n.buildSamplers()
 	if cfg.Restore != nil {
-		restoreStart := time.Now()
+		restoreStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		if err := n.restoreSnapshot(cfg.Restore); err != nil {
 			return nil, err
 		}
-		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds())
+		counters.RestoreNanos.Add(time.Since(restoreStart).Nanoseconds()) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	} else {
 		n.seedWalkers()
 	}
@@ -633,9 +633,9 @@ func (o *outBufs) flush(ep transport.Endpoint) {
 // transfer plus barrier wait) into the ExchangeNanos counter so that
 // communication cost is separable from compute in run summaries.
 func (n *node) exchange() ([]transport.Message, error) {
-	start := time.Now()
+	start := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	msgs, err := n.ep.Exchange()
-	d := time.Since(start).Nanoseconds()
+	d := time.Since(start).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	n.counters.ExchangeNanos.Add(d)
 	if n.obs != nil {
 		n.stepExchange += d
@@ -662,7 +662,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		if iterations > n.cfg.MaxIterations {
 			return iterations, lightIters, fmt.Errorf("core: exceeded %d supersteps; walk not converging", n.cfg.MaxIterations)
 		}
-		start := time.Now()
+		start := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		active := len(n.walkers)
 		light := n.lightMode(active)
 		if light {
@@ -677,7 +677,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			if n.obs == nil {
 				return
 			}
-			barrier := time.Since(start).Nanoseconds() - computeNanos - n.stepExchange - ckptNanos
+			barrier := time.Since(start).Nanoseconds() - computeNanos - n.stepExchange - ckptNanos //kk:nondet-ok telemetry-only timing; never feeds walk state
 			if barrier < 0 {
 				barrier = 0
 			}
@@ -711,14 +711,14 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			n.ep.Send(dest, kCount, cb[:])
 		}
 		n.inFlight = 0
-		computeNanos += time.Since(start).Nanoseconds()
+		computeNanos += time.Since(start).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 
 		msgs, err := n.exchange()
 		if err != nil {
 			return iterations, lightIters, err
 		}
 
-		demuxStart := time.Now()
+		demuxStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		var global int64
 		var queryMsgs []transport.Message
 		for _, m := range msgs {
@@ -739,13 +739,13 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			}
 		}
 		globalCount = global
-		computeNanos += time.Since(demuxStart).Nanoseconds()
+		computeNanos += time.Since(demuxStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 
 		if n.rank == 0 && n.cfg.IterLog != nil {
 			n.cfg.IterLog.Append(stats.IterationRecord{
 				Iteration:     iterations,
 				ActiveWalkers: global,
-				Duration:      time.Since(start),
+				Duration:      time.Since(start), //kk:nondet-ok telemetry-only timing; never feeds walk state
 				LightMode:     light,
 			})
 		}
@@ -772,11 +772,11 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			// The commit barrier's exchange time belongs to the checkpoint
 			// phase of the span, not the exchange phase.
 			preExchange := n.stepExchange
-			ckptStart := time.Now()
+			ckptStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 			if err := n.writeCheckpoint(iterations); err != nil {
 				return iterations, lightIters, err
 			}
-			ckptNanos = time.Since(ckptStart).Nanoseconds()
+			ckptNanos = time.Since(ckptStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 			n.stepExchange = preExchange
 		}
 		if !twoRound {
@@ -787,11 +787,11 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		// Phase B: answer incoming state queries, in parallel chunks (the
 		// paper schedules "chunks of either walkers or messages"; walkers
 		// were phase A, messages are here).
-		phaseBStart := time.Now()
+		phaseBStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		if err := n.phaseB(queryMsgs, light); err != nil {
 			return iterations, lightIters, err
 		}
-		computeNanos += time.Since(phaseBStart).Nanoseconds()
+		computeNanos += time.Since(phaseBStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 
 		msgs, err = n.exchange()
 		if err != nil {
@@ -799,7 +799,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		}
 
 		// Phase C: resolve pending darts with the returned results.
-		phaseCStart := time.Now()
+		phaseCStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		out := newOutBufs(n.ep.Size())
 		for _, m := range msgs {
 			if m.Kind != kResponse {
@@ -810,8 +810,8 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			}
 		}
 		n.inFlight += out.migrations
-		out.flush(n.ep) // delivered at next superstep's first exchange
-		computeNanos += time.Since(phaseCStart).Nanoseconds()
+		out.flush(n.ep)                                       // delivered at next superstep's first exchange
+		computeNanos += time.Since(phaseCStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		emitSpan()
 	}
 }

@@ -79,7 +79,7 @@ func (n *node) checkpointDue(iteration int) bool {
 // are durable and rank 0 commits the manifest. Any failure aborts the run
 // (the previous complete checkpoint remains the recovery point).
 func (n *node) writeCheckpoint(iteration int) error {
-	start := time.Now()
+	start := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 	blob := n.encodeSnapshot(iteration)
 	info, werr := n.cfg.Checkpoint.WriteSegment(iteration, n.rank, blob)
 	if werr == nil {
@@ -100,7 +100,7 @@ func (n *node) writeCheckpoint(iteration int) error {
 		return fmt.Errorf("core: checkpoint segment at superstep %d: %w", iteration, werr)
 	}
 	n.counters.CheckpointBytes.Add(int64(len(blob)))
-	n.counters.CheckpointNanos.Add(time.Since(start).Nanoseconds())
+	n.counters.CheckpointNanos.Add(time.Since(start).Nanoseconds()) //kk:nondet-ok telemetry-only timing; never feeds walk state
 	if n.rank != 0 {
 		if len(msgs) != 0 {
 			return fmt.Errorf("core: unexpected %d messages at checkpoint barrier on rank %d", len(msgs), n.rank)

@@ -1,0 +1,81 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics are (position, message) pairs.
+//
+// The repo deliberately has no external dependencies (see CONTRIBUTING.md),
+// so kklint cannot import the real x/tools framework; this package keeps
+// the same shape so the analyzers in internal/lint read like standard
+// go/analysis code and could be ported to x/tools by swapping one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and driver flags. By
+	// convention it is a single lowercase word.
+	Name string
+	// Doc is the help text: a one-line summary, a blank line, then detail.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics via
+	// pass.Report. The returned value is the analyzer's result (e.g. the
+	// waivers detrand recorded); drivers may expose it.
+	Run func(pass *Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with a single type-checked package and a
+// sink for diagnostics.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and identifier facts.
+	TypesInfo *types.Info
+	// TypesSizes gives the target platform's layout rules. Drivers default
+	// it to the host gc sizes; analyzers doing alignment math may also
+	// consult 32-bit sizes directly.
+	TypesSizes types.Sizes
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding in the source.
+	Pos token.Pos
+	// Category optionally subdivides an analyzer's findings.
+	Category string
+	// Message is the human-readable finding, lowercase, no trailing period.
+	Message string
+}
+
+// NewInfo allocates a types.Info with every fact map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,224 @@
+// Package analysistest runs a kklint analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixtures read identically.
+//
+// Fixture layout: testdata/src/<pkg>/*.go. Each line that should produce a
+// diagnostic carries a trailing comment `// want "re"` (several quoted
+// regexps for several diagnostics on one line). Fixture packages may import
+// sibling fixture packages (resolved from testdata/src) and the standard
+// library (resolved with the source importer, so no pre-built export data
+// is needed).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"knightking/internal/lint/analysis"
+)
+
+// Result is the outcome of one analyzer run over one fixture package.
+type Result struct {
+	Pass        *analysis.Pass
+	Diagnostics []analysis.Diagnostic
+	// Value is what the analyzer's Run returned (e.g. detrand's waivers).
+	Value interface{}
+}
+
+// Run loads each fixture package from dir/src/<pkg>, applies the analyzer,
+// and reports mismatches between diagnostics and `// want` expectations as
+// test errors. It returns one Result per package, in argument order.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []Result {
+	t.Helper()
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		srcdir:  filepath.Join(dir, "src"),
+		imports: make(map[string]*types.Package),
+		infos:   make(map[string]*pkgInfo),
+	}
+	var results []Result
+	for _, pkg := range pkgs {
+		info, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", pkg, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       ld.fset,
+			Files:      info.files,
+			Pkg:        info.pkg,
+			TypesInfo:  info.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		value, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg, err)
+		}
+		check(t, ld.fset, info.files, diags)
+		results = append(results, Result{Pass: pass, Diagnostics: diags, Value: value})
+	}
+	return results
+}
+
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving imports from testdata/src
+// first and from the standard library (source importer) otherwise.
+type loader struct {
+	fset    *token.FileSet
+	srcdir  string
+	imports map[string]*types.Package
+	infos   map[string]*pkgInfo
+	std     types.Importer
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if info, ok := l.infos[path]; ok {
+		return info, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.infos[path] = pi
+	l.imports[path] = pkg
+	return pi, nil
+}
+
+// Import implements types.Importer over fixtures-then-stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.srcdir, filepath.FromSlash(path))); err == nil {
+		info, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return info.pkg, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+var wantRE = regexp.MustCompile(`want\s+(.*)`)
+
+// expectation is one `// want "re"` on one fixture line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// check matches diagnostics against want comments, failing the test for
+// unexpected diagnostics, unmatched expectations, or message mismatches.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil || !strings.HasPrefix(text, "want") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted strings from a want payload:
+// `"a" "b"` → ["a", "b"]. Escapes inside the quotes are kept verbatim
+// (regexps rarely need a literal quote; fixtures avoid them).
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := strings.IndexByte(s, '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}

@@ -1,0 +1,334 @@
+// Package atomiccounter implements the kklint analyzer guarding the
+// stats-counter and observer contracts:
+//
+//  1. Mixed atomicity. A plain integer word whose address is ever passed
+//     to a sync/atomic function is an "atomic word"; every other access
+//     to it (reads, writes, ++) must also go through sync/atomic, or the
+//     snapshot path tears on 32-bit platforms and races everywhere.
+//     Fields of type atomic.Int64/atomic.Uint32/... are exempt — their
+//     API makes non-atomic access impossible.
+//  2. Alignment. A 64-bit atomic word that is a struct field must sit at
+//     an 8-byte-aligned offset under 32-bit (GOARCH=386) layout rules,
+//     per the sync/atomic bug note; the analyzer computes offsets with
+//     types.SizesFor("gc", "386") so the mistake is caught on amd64
+//     developer machines.
+//  3. Observer passivity. Implementations of any interface named
+//     `*Observer` (core.Observer, transport.Observer, fixtures) may
+//     accumulate into their own receiver, but must not write to state
+//     reachable from hook parameters — hooks observe the engine, they
+//     never steer it.
+package atomiccounter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"knightking/internal/lint/analysis"
+	"knightking/internal/lint/lintutil"
+)
+
+// Analyzer is the counter/observer check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccounter",
+	Doc: "enforce sync/atomic discipline on counter words and passivity of Observer hooks\n\n" +
+		"Counter words touched by sync/atomic anywhere must be touched by it everywhere, " +
+		"64-bit fields must stay 8-byte aligned under 32-bit layout, and Observer hook " +
+		"implementations must not write through their parameters.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	checkAtomicWords(pass)
+	checkObserverPassivity(pass)
+	return nil, nil
+}
+
+// --- rule 1 + 2: atomic words ---
+
+func checkAtomicWords(pass *analysis.Pass) {
+	info := pass.TypesInfo
+
+	// Pass 1: every `&x` handed to a sync/atomic package function marks
+	// x's object as an atomic word; those operand nodes are the allowed
+	// accesses.
+	words := make(map[types.Object]bool)
+	allowed := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObj(info, un.X); obj != nil {
+					words[obj] = true
+					allowed[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(words) == 0 {
+		return
+	}
+
+	// Pass 2a: 64-bit atomic fields must be 8-byte aligned under 386
+	// layout. Package-level vars and allocation starts are guaranteed
+	// aligned by the runtime; only interior struct fields can drift.
+	sizes386 := types.SizesFor("gc", "386")
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[st]
+			if !ok {
+				return true
+			}
+			styp, ok := tv.Type.(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, styp.NumFields())
+			for i := range fields {
+				fields[i] = styp.Field(i)
+			}
+			if len(fields) == 0 {
+				return true
+			}
+			offsets := sizes386.Offsetsof(fields)
+			for i, f := range fields {
+				if !words[f] || sizes386.Sizeof(f.Type()) != 8 {
+					continue
+				}
+				if offsets[i]%8 != 0 {
+					pass.Reportf(fieldPos(st, i, f),
+						"64-bit atomic field %s is at offset %d under 32-bit layout; move 64-bit counters to the front of the struct or pad to 8-byte alignment",
+						f.Name(), offsets[i])
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2b: any other access to an atomic word is a tear/race.
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && allowed[n.X] {
+					return false
+				}
+			case *ast.SelectorExpr:
+				if obj := info.Uses[n.Sel]; obj != nil && words[obj] {
+					pass.Reportf(n.Pos(),
+						"access to %s without sync/atomic; it is updated atomically elsewhere, so plain reads and writes race and can tear",
+						obj.Name())
+				}
+				ast.Inspect(n.X, visit)
+				return false
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && words[obj] {
+					pass.Reportf(n.Pos(),
+						"access to %s without sync/atomic; it is updated atomically elsewhere, so plain reads and writes race and can tear",
+						obj.Name())
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+// isAtomicPkgCall reports whether call invokes a package-level function of
+// sync/atomic (Add*, Load*, Store*, Swap*, CompareAndSwap*). Methods on
+// atomic.Int64 etc. have receivers and are not matched — those types are
+// safe by construction.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedObj resolves &x's operand to a trackable object: a struct
+// field (via selector) or a variable. Index expressions (&s[i]) have no
+// stable object and are not tracked; heap slices are 8-aligned anyway.
+func addressedObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.Ident:
+		return lintutil.ObjOf(info, e)
+	}
+	return nil
+}
+
+// fieldPos returns the declaration position of the i-th flattened field
+// of st (fields with shared type specs and embedded fields included),
+// falling back to the field object's own position.
+func fieldPos(st *ast.StructType, i int, f *types.Var) token.Pos {
+	idx := 0
+	for _, fld := range st.Fields.List {
+		if len(fld.Names) == 0 {
+			if idx == i {
+				return fld.Type.Pos()
+			}
+			idx++
+			continue
+		}
+		for _, name := range fld.Names {
+			if idx == i {
+				return name.Pos()
+			}
+			idx++
+		}
+	}
+	return f.Pos()
+}
+
+// --- rule 3: observer passivity ---
+
+func checkObserverPassivity(pass *analysis.Pass) {
+	ifaces := observerInterfaces(pass.Pkg)
+	if len(ifaces) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv().Type()
+			if !isObserverHook(recv, fd.Name.Name, ifaces) {
+				continue
+			}
+			params := make(map[types.Object]bool)
+			for _, f := range fd.Type.Params.List {
+				for _, name := range f.Names {
+					if obj := info.Defs[name]; obj != nil {
+						params[obj] = true
+					}
+				}
+			}
+			checkHookBody(pass, fd, params)
+		}
+	}
+}
+
+// observerInterfaces collects every interface named `*Observer` visible
+// to the package: its own scope plus direct imports (so obs.Registry is
+// checked against core.Observer and transport.Observer).
+func observerInterfaces(pkg *types.Package) []*types.Interface {
+	var out []*types.Interface
+	scopes := []*types.Scope{pkg.Scope()}
+	for _, imp := range pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		for _, name := range scope.Names() {
+			if !strings.HasSuffix(name, "Observer") {
+				continue
+			}
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			iface, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok || iface.NumMethods() == 0 {
+				continue
+			}
+			out = append(out, iface)
+		}
+	}
+	return out
+}
+
+// isObserverHook reports whether method name on receiver type recv is a
+// hook of one of the observer interfaces.
+func isObserverHook(recv types.Type, name string, ifaces []*types.Interface) bool {
+	for _, iface := range ifaces {
+		implements := types.Implements(recv, iface)
+		if !implements {
+			if _, isPtr := recv.(*types.Pointer); !isPtr {
+				implements = types.Implements(types.NewPointer(recv), iface)
+			}
+		}
+		if !implements {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkHookBody flags writes through hook parameters. Rebinding the
+// parameter itself (`n++` on a value copy) is harmless; writing through
+// it (`span.Steps = 0`, `m[k] = v`, `*p = x`) mutates engine state the
+// hook was only shown.
+func checkHookBody(pass *analysis.Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
+	report := func(lhs ast.Expr) {
+		root := lintutil.Root(lhs)
+		if root == nil {
+			return
+		}
+		obj := lintutil.ObjOf(pass.TypesInfo, root)
+		if obj == nil || !params[obj] {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"observer hook %s must be passive: this writes state reachable from hook parameter %s",
+			fd.Name.Name, root.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // rebinding a local copy, not a write-through
+				}
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := n.X.(*ast.Ident); !isIdent {
+				report(n.X)
+			}
+		}
+		return true
+	})
+}

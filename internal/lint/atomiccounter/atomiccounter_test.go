@@ -1,0 +1,11 @@
+package atomiccounter
+
+import (
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "atomdemo", "obsdemo", "obsimpl")
+}

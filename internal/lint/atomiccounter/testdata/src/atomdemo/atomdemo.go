@@ -1,0 +1,63 @@
+// Package atomdemo exercises the atomic-word rules: mixed atomic/plain
+// access, 32-bit alignment of 64-bit fields, and the atomic.Int64 escape
+// hatch.
+package atomdemo
+
+import "sync/atomic"
+
+// bad puts a 32-bit word first, pushing the 64-bit counter to offset 4
+// under GOARCH=386 layout.
+type bad struct {
+	flag uint32
+	hits int64 // want "64-bit atomic field hits is at offset 4 under 32-bit layout"
+}
+
+func (b *bad) inc() { atomic.AddInt64(&b.hits, 1) }
+
+func (b *bad) read() int64 {
+	return b.hits // want "access to hits without sync/atomic"
+}
+
+// good keeps the 64-bit counter first: aligned, and every access atomic.
+type good struct {
+	hits int64
+	flag uint32
+}
+
+func (g *good) inc() { atomic.AddInt64(&g.hits, 1) }
+
+func (g *good) load() int64 { return atomic.LoadInt64(&g.hits) }
+
+func (g *good) reset() {
+	g.hits = 0 // want "access to hits without sync/atomic"
+}
+
+// total is a package-level atomic word; plain reads still race.
+var total int64
+
+func bump() { atomic.AddInt64(&total, 1) }
+
+func sloppyRead() int64 {
+	return total // want "access to total without sync/atomic"
+}
+
+func sloppyWrite() {
+	total++ // want "access to total without sync/atomic"
+}
+
+// modern uses the typed atomics: impossible to misuse, never flagged.
+type modern struct {
+	flag uint32
+	hits atomic.Int64
+}
+
+func (m *modern) inc() { m.hits.Add(1) }
+
+func (m *modern) read() int64 { return m.hits.Load() }
+
+// plain is never touched atomically, so ordinary access is fine.
+type plain struct {
+	n int64
+}
+
+func (p *plain) inc() { p.n++ }

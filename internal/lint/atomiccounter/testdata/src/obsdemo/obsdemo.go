@@ -1,0 +1,59 @@
+// Package obsdemo exercises the observer-passivity rule with a local
+// Observer interface.
+package obsdemo
+
+// Span is what hooks are shown.
+type Span struct {
+	Steps int64
+	Notes []string
+}
+
+// Observer is the hook interface; implementations must be passive.
+type Observer interface {
+	OnSpan(s *Span)
+	OnCount(n int64)
+	OnTable(m map[string]int64)
+}
+
+// accumulator is a well-behaved observer: it writes only its own state.
+type accumulator struct {
+	steps int64
+	last  map[string]int64
+}
+
+func (a *accumulator) OnSpan(s *Span) { a.steps += s.Steps }
+
+func (a *accumulator) OnCount(n int64) {
+	n++ // rebinding the value copy is harmless
+	a.steps += n
+}
+
+func (a *accumulator) OnTable(m map[string]int64) {
+	if a.last == nil {
+		a.last = make(map[string]int64)
+	}
+	for k, v := range m {
+		a.last[k] = v
+	}
+}
+
+// meddler mutates the state it was shown: every hook write-through fires.
+type meddler struct{}
+
+func (md *meddler) OnSpan(s *Span) {
+	s.Steps = 0 // want "observer hook OnSpan must be passive"
+}
+
+func (md *meddler) OnCount(n int64) {}
+
+func (md *meddler) OnTable(m map[string]int64) {
+	m["stolen"] = 1 // want "observer hook OnTable must be passive"
+}
+
+// offDuty has an OnSpan-shaped method but does not implement Observer
+// (missing OnTable), so it is not held to the contract.
+type offDuty struct{}
+
+func (o *offDuty) OnSpan(s *Span) { s.Steps = 0 }
+
+func (o *offDuty) OnCount(n int64) {}

@@ -1,0 +1,20 @@
+// Package obsimpl implements an Observer interface imported from another
+// package (the obs-implements-core.Observer scenario).
+package obsimpl
+
+import "obsdemo"
+
+type remote struct {
+	total int64
+}
+
+var _ obsdemo.Observer = (*remote)(nil)
+
+func (r *remote) OnSpan(s *obsdemo.Span) {
+	r.total += s.Steps
+	s.Notes = append(s.Notes, "tag") // want "observer hook OnSpan must be passive"
+}
+
+func (r *remote) OnCount(n int64) { r.total += n }
+
+func (r *remote) OnTable(m map[string]int64) {}

@@ -1,0 +1,37 @@
+package detrand
+
+import (
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+	"knightking/internal/lint/lintutil"
+)
+
+func TestDetrand(t *testing.T) {
+	a := NewAnalyzer(map[string]bool{"detdemo": true})
+	results := analysistest.Run(t, "testdata", a, "detdemo", "freepkg")
+
+	// The three reasoned waivers in detdemo must be recorded, reasons intact.
+	waivers, ok := results[0].Value.([]lintutil.Waiver)
+	if !ok {
+		t.Fatalf("detdemo result is %T, want []lintutil.Waiver", results[0].Value)
+	}
+	if len(waivers) != 3 {
+		t.Fatalf("recorded %d waivers in detdemo, want 3: %+v", len(waivers), waivers)
+	}
+	for _, w := range waivers {
+		if w.Reason == "" {
+			t.Errorf("waiver at %v recorded with empty reason", w.Pos)
+		}
+	}
+
+	// freepkg is outside the deterministic set: no diagnostics, no waivers.
+	if n := len(results[1].Diagnostics); n != 0 {
+		t.Errorf("freepkg got %d diagnostics, want 0", n)
+	}
+	if results[1].Value != nil {
+		if ws := results[1].Value.([]lintutil.Waiver); len(ws) != 0 {
+			t.Errorf("freepkg recorded %d waivers, want 0", len(ws))
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package detdemo is a detrand fixture: it is configured as a
+// deterministic package, so ambient randomness, wall-clock reads, and
+// unordered map iteration must all be flagged unless waived or sorted.
+package detdemo
+
+import (
+	"math/rand" // want "import of math/rand is forbidden in deterministic packages"
+	"slices"
+	"sort"
+	"time"
+)
+
+func useRand() int { return rand.Int() }
+
+func clock() time.Time {
+	return time.Now() // want "wall-clock read in deterministic package"
+}
+
+func clockSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read in deterministic package"
+}
+
+func clockWaived() time.Duration {
+	//kk:nondet-ok telemetry-only timing, never feeds walk state
+	start := time.Now()
+	//kk:nondet-ok telemetry-only timing, never feeds walk state
+	return time.Since(start)
+}
+
+func clockWaiverNoReason() time.Time {
+	//kk:nondet-ok
+	return time.Now() // want "waiver needs a reason"
+}
+
+func mapRange(m map[int]string) {
+	for k := range m { // want "map iteration order is nondeterministic"
+		_ = k
+	}
+}
+
+func mapRangeWaived(m map[int]int) int {
+	sum := 0
+	//kk:nondet-ok commutative sum, order-independent
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sortedKeys is the sanctioned idiom: collect keys, sort, iterate. No
+// diagnostic and no waiver needed.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// slicesSortedKeys uses the slices package instead of sort; also clean.
+func slicesSortedKeys(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// unsortedKeys collects keys but never sorts them, so the iteration order
+// leaks into the result: flagged.
+func unsortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sliceRange is not a map walk; never flagged.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

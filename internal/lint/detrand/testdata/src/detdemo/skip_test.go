@@ -1,0 +1,17 @@
+package detdemo
+
+import "time"
+
+// Test files assert the determinism contract rather than being bound by
+// it: counting walk endpoints in a map and reading the clock for timeouts
+// are fine here, and detrand must stay silent.
+
+func testOnlyClock() time.Time { return time.Now() }
+
+func testOnlyMapRange(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

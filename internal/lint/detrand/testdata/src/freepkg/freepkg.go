@@ -1,0 +1,15 @@
+// Package freepkg is outside the deterministic set: detrand must ignore
+// it entirely even though it reads the clock and walks a map.
+package freepkg
+
+import "time"
+
+func Clock() time.Time { return time.Now() }
+
+func Walk(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,225 @@
+// Package driver loads type-checked packages and runs the kklint
+// analyzers over them, in two modes:
+//
+//   - Standalone: `kklint ./...` — shells out to `go list -export -deps`
+//     for package metadata and export data, type-checks each target
+//     package against the gc export files, and prints diagnostics. This
+//     is the developer loop and what `make lint` wraps via go vet.
+//   - Unitchecker (unitchecker.go): invoked by `go vet -vettool=kklint`
+//     once per package with a vet.cfg JSON file.
+//
+// Both modes use only the standard library: the repo has no external
+// dependencies, so the usual x/tools loaders are reimplemented here on
+// top of go/importer.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"knightking/internal/lint/analysis"
+	"knightking/internal/lint/lintutil"
+)
+
+// Diag is one analyzer finding with a resolved source position.
+type Diag struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Waiver is one accepted //kk:nondet-ok comment, with position resolved.
+type Waiver struct {
+	Pos    token.Position
+	Reason string
+}
+
+// analyze applies every analyzer to one type-checked package.
+func analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info) ([]Diag, []Waiver, error) {
+	var diags []Diag
+	var waivers []Waiver
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diag{
+					Pos:      fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			},
+		}
+		value, err := a.Run(pass)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path(), err)
+		}
+		if ws, ok := value.([]lintutil.Waiver); ok {
+			for _, w := range ws {
+				waivers = append(waivers, Waiver{Pos: fset.Position(w.Pos), Reason: w.Reason})
+			}
+		}
+	}
+	return diags, waivers, nil
+}
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Standalone runs the analyzers over the packages matched by patterns.
+// Diagnostics and (optionally) recorded waivers go to out; loader errors
+// to errw. Returns the process exit code: 0 clean, 1 findings, 2 errors.
+func Standalone(analyzers []*analysis.Analyzer, patterns []string, showWaivers bool, out, errw io.Writer) int {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = errw
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintf(errw, "kklint: %v\n", err)
+		return 2
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintf(errw, "kklint: go list: %v\n", err)
+		return 2
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(errw, "kklint: decoding go list output: %v\n", err)
+			return 2
+		}
+		if p.Error != nil {
+			fmt.Fprintf(errw, "kklint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 2
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fmt.Fprintf(errw, "kklint: go list: %v\n", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter{importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})}
+
+	var allDiags []Diag
+	var allWaivers []Waiver
+	code := 0
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(errw, "kklint: %v\n", err)
+				return 2
+			}
+			files = append(files, f)
+		}
+		info := analysis.NewInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			fmt.Fprintf(errw, "kklint: typechecking %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		diags, waivers, err := analyze(analyzers, fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintf(errw, "kklint: %v\n", err)
+			return 2
+		}
+		allDiags = append(allDiags, diags...)
+		allWaivers = append(allWaivers, waivers...)
+	}
+
+	sort.Slice(allDiags, func(i, j int) bool { return posLess(allDiags[i].Pos, allDiags[j].Pos) })
+	sort.Slice(allWaivers, func(i, j int) bool { return posLess(allWaivers[i].Pos, allWaivers[j].Pos) })
+	for _, d := range allDiags {
+		fmt.Fprintf(out, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		code = 1
+	}
+	if showWaivers {
+		for _, w := range allWaivers {
+			fmt.Fprintf(out, "%s: waived: %s\n", w.Pos, w.Reason)
+		}
+	}
+	return code
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// exportImporter resolves "unsafe" specially and defers everything else
+// to the gc export-data importer.
+type exportImporter struct {
+	under types.Importer
+}
+
+func (e exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.under.Import(path)
+}
+
+// stripVariant normalizes a test-variant import path like
+// "knightking/internal/core [knightking/internal/core.test]" to the plain
+// package path, so detrand's deterministic-set lookup matches when go vet
+// analyzes test variants.
+func stripVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

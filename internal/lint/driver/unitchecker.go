@@ -1,0 +1,130 @@
+// go vet -vettool protocol: cmd/go invokes the tool once per package with
+// a single argument, the path to a JSON "vet.cfg" describing the
+// compilation unit, and expects diagnostics on stderr (exit 2) plus a
+// facts file written to VetxOutput. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker without the dependency.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"knightking/internal/lint/analysis"
+)
+
+// vetConfig is the JSON schema cmd/go writes (see cmd/go/internal/work).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker analyzes the single compilation unit described by cfgFile
+// and returns the exit code: 0 clean, 1 internal error, 2 findings.
+func Unitchecker(analyzers []*analysis.Analyzer, cfgFile string, out io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(out, "kklint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(out, "kklint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go requires the facts file to exist even when empty, and for
+	// VetxOnly units (dependencies vetted only for facts) nothing else.
+	// kklint's analyzers are fact-free, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(out, "kklint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(out, "kklint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := exportImporter{importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", goarch())}
+	if cfg.GoVersion != "" && strings.HasPrefix(cfg.GoVersion, "go") {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(stripVariant(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(out, "kklint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, _, err := analyze(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(out, "kklint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// goarch is the target architecture for layout decisions; cmd/go does not
+// pass it in the config, so honor GOARCH like the toolchain would.
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,127 @@
+// Package lintutil holds the small AST and comment helpers shared by the
+// kklint analyzers: waiver-comment lookup, expression roots, and test-file
+// detection.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WaiverMarker is the comment prefix that waives a kklint determinism
+// finding at one statement: `//kk:nondet-ok <reason>`. The reason is
+// mandatory — an empty waiver is itself a diagnostic — and the analyzer
+// records every accepted waiver so drivers can list them.
+const WaiverMarker = "kk:nondet-ok"
+
+// Waiver is one accepted waiver comment.
+type Waiver struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// FindWaiver looks for a marker comment attached to the statement at pos:
+// either trailing on the same source line or alone on the line directly
+// above. It returns the waiver text (may be empty — the caller should then
+// report a missing reason) and whether a marker was found at all.
+func FindWaiver(fset *token.FileSet, file *ast.File, pos token.Pos, marker string) (reason string, found bool) {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, marker) {
+				continue
+			}
+			cline := fset.Position(c.Pos()).Line
+			if cline != line && cline != line-1 {
+				continue
+			}
+			return strings.TrimSpace(strings.TrimPrefix(text, marker)), true
+		}
+	}
+	return "", false
+}
+
+// FileOf returns the *ast.File among files containing pos, or nil.
+func FileOf(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The kklint
+// analyzers enforce runtime contracts; test code asserts those contracts
+// rather than being bound by them (e.g. tests count walk endpoints in maps
+// and compare order-independently).
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Root unwraps selectors, indexes, slices, stars, parens, and type
+// assertions down to the base identifier of an lvalue/rvalue chain:
+// Root(`a.b[i].c`) = `a`. Returns nil when the chain does not bottom out
+// in an identifier (e.g. a call result or composite literal).
+func Root(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// pkgpath.name (e.g. "time".Now). It resolves through the type-checker, so
+// dot-imports and renamed imports are handled correctly.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgpath string, names ...string) bool {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pkgpath {
+		return false
+	}
+	if obj.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjOf returns the object an identifier resolves to (use or def).
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,514 @@
+// Package payloadown implements the kklint analyzer enforcing the
+// transport Endpoint ownership contract: payloads of messages returned by
+// Exchange (or decoded by ReadFrame) are owned by the caller only until
+// the next Exchange or Close — the endpoint recycles the frame buffers the
+// payloads alias. Retaining a payload past the call without an explicit
+// copy is a use-after-recycle waiting for a load spike.
+//
+// The analysis is a per-function taint walk. Any value whose type is (or
+// contains) a transport Message — a named struct, declared in another
+// package, with a `Payload []byte` field — is tainted when it enters the
+// function, whether as a call result or a parameter. Taint follows
+// fields, indexing, slicing, append (when the element type can alias),
+// and composite literals. A diagnostic fires when tainted data escapes
+// the function's frame:
+//
+//   - assignment to a package-level variable,
+//   - assignment through a parameter or receiver (struct fields,
+//     pointees),
+//   - a channel send.
+//
+// Explicit copies launder taint: string(p), append([]byte(nil), p...),
+// bytes.Clone/slices.Clone, and the engine's checkpoint-barrier idiom
+//
+//	for i := range msgs {
+//	    msgs[i].Payload = append([]byte(nil), msgs[i].Payload...)
+//	}
+//
+// which untaints the whole slice. The package that declares the Message
+// type itself (the transport implementation) is exempt — it owns the
+// buffers it recycles.
+//
+// Known limitations, tolerated for a lint: calls other than the
+// recognized copy helpers are assumed not to retain their arguments, and
+// bare []byte parameters are not presumed to be payloads.
+package payloadown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"knightking/internal/lint/analysis"
+	"knightking/internal/lint/lintutil"
+)
+
+// Analyzer is the payload-ownership check.
+var Analyzer = &analysis.Analyzer{
+	Name: "payloadown",
+	Doc: "flag retention of Exchange/ReadFrame payload slices past the call\n\n" +
+		"Transport message payloads alias pooled frame buffers that the endpoint recycles " +
+		"on the next Exchange; storing them in long-lived state without copying is a data race in waiting.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:   pass,
+				taint:  make(map[types.Object]bool),
+				params: make(map[types.Object]bool),
+			}
+			c.seed(fn)
+			c.stmtList(fn.Body.List)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// taint marks local variables currently holding payload-aliasing data.
+	taint map[types.Object]bool
+	// params holds the function's parameters and receiver: writes through
+	// them escape the frame.
+	params map[types.Object]bool
+}
+
+// seed registers parameters/receiver and taints message-typed parameters:
+// a caller handing us messages hands us aliased payloads.
+func (c *checker) seed(fn *ast.FuncDecl) {
+	fields := []*ast.FieldList{fn.Recv, fn.Type.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj := c.pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				c.params[obj] = true
+				if c.messageLike(obj.Type()) {
+					c.taint[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// messageLike reports whether t is (or wraps, via pointer/slice) a named
+// struct with a `Payload []byte` field declared in ANOTHER package. The
+// declaring package owns the buffers and is exempt.
+func (c *checker) messageLike(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return c.messageLike(u.Elem())
+	case *types.Slice:
+		return c.messageLike(u.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Pkg() == nil || named.Obj().Pkg() == c.pass.Pkg {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Payload" {
+			continue
+		}
+		if sl, ok := f.Type().(*types.Slice); ok {
+			if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- statement walk (source order approximates flow order) ---
+
+func (c *checker) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.SendStmt:
+		if c.tainted(s.Value) {
+			c.pass.Reportf(s.Arrow,
+				"payload sent to a channel without an explicit copy; the endpoint recycles the buffer on the next Exchange/ReadFrame")
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						c.store(name, c.tainted(vs.Values[i]), name.Pos())
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmtList(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmtList(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmtList(s.Body.List)
+	case *ast.RangeStmt:
+		c.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmtList(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		// `case *T:` binds the assigned ident per clause; the bound value
+		// aliases the switched expression, so it inherits its taint.
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				if obj := c.pass.TypesInfo.Implicits[cc]; obj != nil {
+					if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+						c.taint[obj] = c.tainted(as.Rhs[0])
+					}
+				}
+				c.stmtList(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm)
+				}
+				c.stmtList(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmtList(lit.Body.List)
+		}
+	case *ast.DeferStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmtList(lit.Body.List)
+		}
+	}
+}
+
+// assign applies taint to the left-hand sides. A tuple-call RHS taints by
+// static result type (this is how Exchange/ReadFrame results and any
+// wrapper returning []Message become sources).
+func (c *checker) assign(s *ast.AssignStmt) {
+	var taints []bool
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// msgs, err := e.Exchange(...) — per-result typing.
+		if tup, ok := c.pass.TypesInfo.Types[s.Rhs[0]].Type.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				taints = append(taints, c.messageLike(tup.At(i).Type()))
+			}
+		}
+	}
+	if taints == nil {
+		for _, rhs := range s.Rhs {
+			taints = append(taints, c.tainted(rhs))
+		}
+	}
+	for i, lhs := range s.Lhs {
+		t := false
+		if i < len(taints) {
+			t = taints[i]
+		}
+		c.store(lhs, t, s.TokPos)
+	}
+}
+
+// store records (or reports) the effect of writing a value with the given
+// taint into lhs.
+func (c *checker) store(lhs ast.Expr, tainted bool, pos token.Pos) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := lintutil.ObjOf(c.pass.TypesInfo, id)
+		if obj == nil {
+			return
+		}
+		if c.isPkgLevel(obj) {
+			if tainted {
+				c.pass.Reportf(pos,
+					"payload retained in package-level state without an explicit copy; the endpoint recycles the buffer on the next Exchange/ReadFrame")
+			}
+			return
+		}
+		c.taint[obj] = tainted
+		return
+	}
+	if !tainted {
+		return
+	}
+	root := lintutil.Root(lhs)
+	var obj types.Object
+	if root != nil {
+		obj = lintutil.ObjOf(c.pass.TypesInfo, root)
+	}
+	switch {
+	case obj == nil || c.isPkgLevel(obj):
+		c.pass.Reportf(pos,
+			"payload retained in package-level state without an explicit copy; the endpoint recycles the buffer on the next Exchange/ReadFrame")
+	case c.taint[obj]:
+		// Writing into storage that already aliases payloads (e.g.
+		// msgs[i].Payload = ...) creates no new retention.
+	case c.params[obj]:
+		c.pass.Reportf(pos,
+			"payload retained past the call via %s without an explicit copy; the endpoint recycles the buffer on the next Exchange/ReadFrame",
+			root.Name)
+	default:
+		// Flowed into a local struct/slice: track it, report only if that
+		// local later escapes.
+		c.taint[obj] = true
+	}
+}
+
+func (c *checker) isPkgLevel(obj types.Object) bool {
+	return obj.Parent() == c.pass.Pkg.Scope()
+}
+
+// rangeStmt walks a range loop, propagating taint to the value variable
+// and recognizing the checkpoint-barrier deep-copy idiom that untaints
+// the ranged slice.
+func (c *checker) rangeStmt(rs *ast.RangeStmt) {
+	xTainted := c.tainted(rs.X)
+	if xTainted {
+		if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+			if obj := lintutil.ObjOf(c.pass.TypesInfo, v); obj != nil {
+				c.taint[obj] = true
+			}
+		}
+	}
+	copied := false
+	if xTainted {
+		copied = c.isPayloadCopyLoop(rs)
+	}
+	c.stmtList(rs.Body.List)
+	if copied {
+		if x, ok := rs.X.(*ast.Ident); ok {
+			if obj := lintutil.ObjOf(c.pass.TypesInfo, x); obj != nil {
+				c.taint[obj] = false
+			}
+		}
+	}
+}
+
+// isPayloadCopyLoop matches
+//
+//	for i := range X { X[i].Payload = <clean copy> }
+//
+// — the sanctioned way to sever a message slice from the endpoint's
+// buffers before retaining it.
+func (c *checker) isPayloadCopyLoop(rs *ast.RangeStmt) bool {
+	x, ok := rs.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			continue
+		}
+		sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Payload" {
+			continue
+		}
+		idx, ok := sel.X.(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		base, ok := idx.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		iid, ok := idx.Index.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		info := c.pass.TypesInfo
+		if lintutil.ObjOf(info, base) == lintutil.ObjOf(info, x) &&
+			lintutil.ObjOf(info, iid) == lintutil.ObjOf(info, key) &&
+			!c.tainted(as.Rhs[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- expression taint ---
+
+func (c *checker) tainted(e ast.Expr) bool {
+	// A value whose type cannot alias memory (int, string, bool, ...)
+	// carries no taint no matter where it came from: m.From is safe even
+	// when m is not.
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		if !typeAliases(tv.Type, nil) {
+			return false
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := lintutil.ObjOf(c.pass.TypesInfo, e)
+		return obj != nil && c.taint[obj]
+	case *ast.SelectorExpr:
+		return c.tainted(e.X)
+	case *ast.IndexExpr:
+		return c.tainted(e.X)
+	case *ast.SliceExpr:
+		return c.tainted(e.X)
+	case *ast.ParenExpr:
+		return c.tainted(e.X)
+	case *ast.StarExpr:
+		return c.tainted(e.X)
+	case *ast.TypeAssertExpr:
+		return c.tainted(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.tainted(e.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if c.tainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return c.callTainted(e)
+	default:
+		return false
+	}
+}
+
+// callTainted classifies calls: conversions keep slice taint, append
+// propagates when the element type can alias, the copy helpers launder,
+// and anything returning a message type is a source.
+func (c *checker) callTainted(e *ast.CallExpr) bool {
+	info := c.pass.TypesInfo
+	// Conversion: []byte(p) aliases; string(p) copies.
+	if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+		if _, ok := tv.Type.Underlying().(*types.Slice); ok {
+			return c.tainted(e.Args[0])
+		}
+		return false
+	}
+	// Builtin append.
+	if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() != "append" || len(e.Args) == 0 {
+				return false
+			}
+			if c.tainted(e.Args[0]) {
+				return true
+			}
+			// append([]byte(nil), p...) copies bytes: clean. Appending
+			// messages (elements that alias) keeps the taint.
+			rt := info.Types[e].Type
+			sl, ok := rt.Underlying().(*types.Slice)
+			if !ok || !typeAliases(sl.Elem(), nil) {
+				return false
+			}
+			for _, a := range e.Args[1:] {
+				if c.tainted(a) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Explicit copy helpers.
+	if lintutil.IsPkgCall(info, e, "bytes", "Clone") ||
+		lintutil.IsPkgCall(info, e, "slices", "Clone") {
+		return false
+	}
+	// A single-result call returning a message type is a source (wrappers
+	// around Exchange included); everything else is presumed not to retain.
+	if t := info.Types[e].Type; t != nil {
+		if _, isTuple := t.(*types.Tuple); !isTuple {
+			return c.messageLike(t)
+		}
+	}
+	return false
+}
+
+// typeAliases reports whether values of type t can alias other memory
+// (contain a slice, pointer, map, chan, func, or interface). Strings are
+// immutable and conversion-copied, so they do not count.
+func typeAliases(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return typeAliases(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeAliases(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

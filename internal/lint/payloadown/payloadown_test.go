@@ -1,0 +1,14 @@
+package payloadown
+
+import (
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+)
+
+func TestPayloadown(t *testing.T) {
+	// fakewire declares the Message type, so it is the owner package and
+	// must come up clean despite retaining payloads; payuse is a consumer
+	// and every retention without a copy must fire.
+	analysistest.Run(t, "testdata", Analyzer, "fakewire", "payuse")
+}

@@ -1,0 +1,36 @@
+// Package fakewire is a stand-in for internal/transport in payloadown
+// fixtures: a Message with a pooled Payload and an Endpoint that recycles
+// buffers. As the package declaring Message, it OWNS the memory — the
+// analyzer must not flag its own recycling.
+package fakewire
+
+// Message mirrors transport.Message.
+type Message struct {
+	From    int
+	Kind    byte
+	Payload []byte
+}
+
+// Endpoint mirrors the pooled-buffer transport endpoint.
+type Endpoint struct {
+	bufs  [][]byte
+	inbox []Message
+}
+
+// Exchange returns messages whose payloads alias pooled buffers, valid
+// only until the next Exchange.
+func (e *Endpoint) Exchange(out []Message) ([]Message, error) {
+	// Owner-package recycling: retaining payloads here is the whole
+	// point, and the analyzer stays silent.
+	for _, m := range e.inbox {
+		e.bufs = append(e.bufs, m.Payload)
+	}
+	msgs := e.inbox
+	e.inbox = nil
+	return msgs, nil
+}
+
+// ReadFrame decodes one frame; payloads alias buf.
+func ReadFrame(buf []byte) ([]Message, []byte, error) {
+	return []Message{{Payload: buf}}, buf, nil
+}
