@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test race bench bench-record fuzz experiments examples clean
+.PHONY: all build vet lint test race bench bench-record fuzz smoke experiments examples clean
 
 all: build vet lint test
 
@@ -43,6 +43,12 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=15s ./internal/transport/
 	go test -run=Fuzz -fuzz=FuzzReadManifest -fuzztime=15s ./internal/checkpoint/
 	go test -run=Fuzz -fuzz=FuzzRead -fuzztime=15s ./internal/trace/
+
+# End-to-end smoke tests of the two operator surfaces: the kkwalk admin
+# server and the kkserve walk service.
+smoke:
+	./scripts/admin-smoke.sh
+	./scripts/serve-smoke.sh
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

@@ -27,11 +27,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"knightking/internal/alg"
 	"knightking/internal/checkpoint"
@@ -256,6 +259,23 @@ func main() {
 		}
 	}
 
+	// Cooperative shutdown: the first SIGINT/SIGTERM closes the engine's
+	// cancel channel, so every rank (local or remote) leaves at the same
+	// superstep barrier and committed checkpoints stay valid resume points.
+	// A second signal force-exits for runs that are past reasoning with.
+	cancelCh := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		progressf("kkwalk: received %v; cancelling at the next superstep barrier\n", sig)
+		close(cancelCh)
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "kkwalk: received second %v; exiting immediately\n", sig)
+		os.Exit(1)
+	}()
+	cfg.Cancel = cancelCh
+
 	var res *core.Result
 	if multiProcess {
 		// Real multi-process deployment: every rank runs this binary with
@@ -275,6 +295,9 @@ func main() {
 		res, err = core.Run(cfg)
 	}
 	if err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			fatalf("interrupted: %v (no results written; resume with -checkpoint-dir/-resume if checkpointing was on)", err)
+		}
 		fatalf("run: %v", err)
 	}
 	if spansFlush != nil {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+	"knightking/internal/stats"
+)
+
+// wallClockFree strips the wall-clock counter fields so two snapshots of
+// the same deterministic run compare equal.
+func wallClockFree(s stats.Snapshot) stats.Snapshot {
+	s.ExchangeNanos = 0
+	s.CheckpointNanos = 0
+	s.RestoreNanos = 0
+	return s
+}
+
+// The walk service runs many jobs against one registry-owned
+// *graph.Graph at once, so the engine's read-only graph contract is
+// load-bearing: N concurrent Runs sharing a graph must each be
+// bit-identical to the same Run executed alone. The race detector makes
+// any mutation of shared graph state a hard failure.
+func TestConcurrentRunsSharingGraphMatchSerial(t *testing.T) {
+	g := gen.TruncatedPowerLaw(300, 2, 40, 2.2, 11)
+
+	const runs = 8
+	mk := func(i int) Config {
+		return Config{
+			Graph:       g,
+			Algorithm:   staticAlg(20 + i), // distinct lengths: distinct workloads
+			NumNodes:    1 + i%3,
+			Workers:     2,
+			NumWalkers:  100 + 10*i,
+			Seed:        uint64(1000 + i),
+			RecordPaths: true,
+		}
+	}
+
+	serial := make([]*Result, runs)
+	for i := range serial {
+		res, err := Run(mk(i))
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		serial[i] = res
+	}
+
+	concurrent := make([]*Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			concurrent[i], errs[i] = Run(mk(i))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		assertSamePaths(t, serial[i].Paths, concurrent[i].Paths)
+		if a, b := wallClockFree(serial[i].Counters), wallClockFree(concurrent[i].Counters); a != b {
+			t.Errorf("run %d counters diverged under concurrency:\nserial:     %+v\nconcurrent: %+v", i, a, b)
+		}
+	}
+}
+
+// Second-order walks exercise the query/response machinery (phases B/C)
+// and per-vertex walker-state reads; they too must be immune to
+// concurrent runs on the shared graph.
+func TestConcurrentSecondOrderRunsSharingGraph(t *testing.T) {
+	g := gen.UniformDegree(200, 6, 3)
+
+	mk := func(seed uint64) Config {
+		return Config{
+			Graph:       g,
+			Algorithm:   parityAlg(15),
+			NumNodes:    2,
+			Workers:     2,
+			NumWalkers:  120,
+			Seed:        seed,
+			RecordPaths: true,
+		}
+	}
+
+	seeds := []uint64{7, 7, 99} // two identical runs plus a control
+	serial := make([]*Result, len(seeds))
+	for i, s := range seeds {
+		res, err := Run(mk(s))
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		serial[i] = res
+	}
+
+	concurrent := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i int, s uint64) {
+			defer wg.Done()
+			concurrent[i], errs[i] = Run(mk(s))
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		assertSamePaths(t, serial[i].Paths, concurrent[i].Paths)
+	}
+	// Same seed: identical. Different seed: actually different walks.
+	assertSamePaths(t, concurrent[0].Paths, concurrent[1].Paths)
+	if samePaths(concurrent[0].Paths, concurrent[2].Paths) {
+		t.Fatal("distinct seeds produced identical walks")
+	}
+}
+
+// samePaths reports path-set equality without failing the test.
+func samePaths(a, b [][]graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ const (
 	kResponse                  // batched query-response records
 	kCount                     // one int64: sender's live-walker count
 	kCkpt                      // one checkpoint segment descriptor, sent to rank 0
+	kCancel                    // cancellation request, broadcast to every rank
 )
 
 // Chunk size for dynamic task scheduling, matching the paper's setting
@@ -32,6 +34,13 @@ const walkerChunk = 128
 // DefaultLightThreshold is the paper's straggler threshold: a node whose
 // active walker count falls below it drops to a single worker (§6.2).
 const DefaultLightThreshold = 4000
+
+// ErrCancelled is returned (wrapped) by Run and RunNode when a run is
+// aborted through Config.Cancel. The abort is cooperative and aligned:
+// every rank leaves the superstep loop at the same barrier, so no partial
+// superstep is ever observable and any checkpoints on disk remain
+// consistent. Match with errors.Is.
+var ErrCancelled = errors.New("core: run cancelled")
 
 // Config describes one engine run.
 type Config struct {
@@ -104,6 +113,16 @@ type Config struct {
 	// which case every rank must pass identical boundaries matching its
 	// slice. Length must be number-of-nodes + 1.
 	PartitionStarts []graph.VertexID
+	// Cancel, when non-nil, requests a cooperative abort: close the channel
+	// and the run stops at the next BSP barrier with an error wrapping
+	// ErrCancelled. Each rank polls the channel once per superstep (a
+	// non-blocking select, so the walk path stays deterministic) and the
+	// observing rank broadcasts the request with its walker count, so every
+	// rank — including remote processes under RunNode that never see the
+	// local signal — leaves the loop at the same superstep, before any
+	// checkpoint write begins. kkwalk wires SIGINT/SIGTERM to this;
+	// internal/service closes it on DELETE /jobs/{id}.
+	Cancel <-chan struct{}
 	// Checkpoint, when non-nil, makes every rank snapshot its walker state
 	// into the sink at each superstep barrier whose index is a multiple of
 	// the sink's Interval. The snapshot is taken at a consistent cut (all
@@ -704,11 +723,19 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		}
 
 		// Send this node's live-walker count to every rank, then exchange.
+		// A locally observed cancellation rides along as a broadcast: the
+		// decision to stop is taken from the union of requests received at
+		// the barrier, so every rank stops at the same superstep.
 		count := int64(len(n.walkers)) + n.inFlight
 		var cb [8]byte
 		binary.LittleEndian.PutUint64(cb[:], uint64(count))
 		for dest := 0; dest < n.ep.Size(); dest++ {
 			n.ep.Send(dest, kCount, cb[:])
+		}
+		if n.cancelRequested() {
+			for dest := 0; dest < n.ep.Size(); dest++ {
+				n.ep.Send(dest, kCancel, []byte{1})
+			}
 		}
 		n.inFlight = 0
 		computeNanos += time.Since(start).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
@@ -720,6 +747,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 
 		demuxStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		var global int64
+		var cancelled bool
 		var queryMsgs []transport.Message
 		for _, m := range msgs {
 			switch m.Kind {
@@ -734,6 +762,8 @@ func (n *node) run() (iterations, lightIters int, err error) {
 				}
 			case kQuery:
 				queryMsgs = append(queryMsgs, m)
+			case kCancel:
+				cancelled = true
 			default:
 				return iterations, lightIters, fmt.Errorf("core: unexpected message kind %d in round 1", m.Kind)
 			}
@@ -752,6 +782,14 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		if global == 0 {
 			emitSpan()
 			return iterations, lightIters, nil
+		}
+		// Abort after the count barrier but before any checkpoint write:
+		// every migration up to this superstep has been delivered, so the
+		// newest committed checkpoint (if any) stays the consistent resume
+		// point and no superstep is ever half-snapshotted.
+		if cancelled {
+			emitSpan()
+			return iterations, lightIters, fmt.Errorf("%w at superstep %d", ErrCancelled, iterations)
 		}
 
 		// Checkpoint at the barrier: every migration sent up to this
@@ -813,6 +851,22 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		out.flush(n.ep)                                       // delivered at next superstep's first exchange
 		computeNanos += time.Since(phaseCStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		emitSpan()
+	}
+}
+
+// cancelRequested polls the run's cancel channel without blocking. Walk
+// state never depends on the poll's outcome within a superstep: a
+// cancelled run produces no result at all, and an uncancelled run is
+// untouched, so determinism from the seed is preserved.
+func (n *node) cancelRequested() bool {
+	if n.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-n.cfg.Cancel:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -34,7 +34,11 @@ import (
 // pinned by golden tests to be a pure function of the seed. internal/obs
 // and internal/bench are deliberately absent — they measure wall time by
 // design and are kept away from walk state by the atomiccounter analyzer's
-// observer-passivity rule instead.
+// observer-passivity rule instead. internal/service is likewise absent:
+// a job server timestamps lifecycle transitions by design, and every
+// engine run it launches is covered transitively (core and below stay in
+// the set; the payloadown and atomiccounter analyzers still apply to the
+// whole repo, internal/service included).
 var DefaultPackages = map[string]bool{
 	"knightking/internal/core":       true,
 	"knightking/internal/sampling":   true,

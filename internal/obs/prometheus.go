@@ -43,11 +43,8 @@ var counterMetrics = []counterMetric{
 // like uptime so the rendering of a quiesced registry is deterministic
 // (pinned by the golden test).
 func WriteMetrics(w io.Writer, r *Registry) error {
-	s := r.counters.Snapshot()
-	for _, m := range counterMetrics {
-		if err := writeFamily(w, m.name, m.help, "counter", m.val(s)); err != nil {
-			return err
-		}
+	if err := WriteSnapshotMetrics(w, r.counters.Snapshot()); err != nil {
+		return err
 	}
 	if err := writeFamily(w, "superstep", "Highest superstep any rank has completed.", "gauge", r.superstep.Load()); err != nil {
 		return err
@@ -68,6 +65,31 @@ func WriteMetrics(w io.Writer, r *Registry) error {
 		}
 	}
 	return nil
+}
+
+// WriteSnapshotMetrics renders every engine counter family from one
+// snapshot, in the registry's fixed order. The admin server's /metrics uses
+// it with a live snapshot; the walk service uses it with its job-aggregate
+// snapshot so one scrape surface covers both deployment shapes.
+func WriteSnapshotMetrics(w io.Writer, s stats.Snapshot) error {
+	for _, m := range counterMetrics {
+		if err := writeFamily(w, m.name, m.help, "counter", m.val(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCounter renders one ad-hoc kk_-prefixed counter family in the
+// Prometheus text format, for callers (e.g. internal/service) composing a
+// /metrics page alongside WriteSnapshotMetrics.
+func WriteCounter(w io.Writer, name, help string, v int64) error {
+	return writeFamily(w, name, help, "counter", v)
+}
+
+// WriteGauge renders one ad-hoc kk_-prefixed gauge family.
+func WriteGauge(w io.Writer, name, help string, v int64) error {
+	return writeFamily(w, name, help, "gauge", v)
 }
 
 func writeFamily(w io.Writer, name, help, kind string, v int64) error {

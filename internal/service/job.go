@@ -1,0 +1,294 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/graph"
+	"knightking/internal/stats"
+)
+
+// JobState is a job's position in the lifecycle
+// queued → running → done | failed | cancelled.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the POST /jobs submission payload: which registered graph to
+// walk, which algorithm with which parameters, and the run shape. Zero
+// values take the documented defaults, and defaults are materialized at
+// submission, so two specs that normalize identically produce bit-identical
+// walk statistics (the engine is deterministic in (graph, seed, params)).
+type JobSpec struct {
+	// Graph names a registered graph (required).
+	Graph string `json:"graph"`
+	// Alg is deepwalk|ppr|rwr|metapath|node2vec (required).
+	Alg string `json:"alg"`
+
+	// Length is the walk length for deepwalk/rwr/metapath/node2vec
+	// (default 80).
+	Length int `json:"length,omitempty"`
+	// Pt is ppr's per-step termination probability (default 0.0125).
+	Pt float64 `json:"pt,omitempty"`
+	// Restart is rwr's restart probability (default 0.15).
+	Restart float64 `json:"restart,omitempty"`
+	// P and Q are node2vec's return and in-out parameters (default 1, 1).
+	P float64 `json:"p,omitempty"`
+	Q float64 `json:"q,omitempty"`
+	// Schemes is metapath's scheme list, kkwalk syntax: comma-separated
+	// edge types, ';'-separated schemes (default "0").
+	Schemes string `json:"schemes,omitempty"`
+	// Biased selects the weight-proportional static component (requires a
+	// weighted graph).
+	Biased bool `json:"biased,omitempty"`
+
+	// Seed pins the run; identical (graph, alg, params, seed, walkers)
+	// submissions return identical walk statistics.
+	Seed uint64 `json:"seed"`
+	// Walkers is the walker count (default |V| of the named graph).
+	Walkers int `json:"walkers,omitempty"`
+	// Nodes is the simulated rank count (default 1).
+	Nodes int `json:"nodes,omitempty"`
+	// Workers is the per-rank worker goroutine count (default 4).
+	Workers int `json:"workers,omitempty"`
+
+	// CheckpointEvery, with a service checkpoint root configured, snapshots
+	// the job's walk state every N supersteps under <root>/<job-id>/
+	// (0 disables).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// validAlgs names the supported algorithms in the error message order.
+var validAlgs = []string{"deepwalk", "ppr", "rwr", "metapath", "node2vec"}
+
+// normalize validates spec against the target graph and fills defaults
+// in place. It must reject anything the alg constructors would panic on,
+// so a malformed submission is a 400, never a dead scheduler worker.
+func (s *JobSpec) normalize(g *graph.Graph) error {
+	switch s.Alg {
+	case "deepwalk", "rwr", "metapath", "node2vec":
+		if s.Length == 0 {
+			s.Length = 80
+		}
+		if s.Length < 0 {
+			return fmt.Errorf("length %d must be positive", s.Length)
+		}
+	case "ppr":
+		if s.Pt == 0 {
+			s.Pt = 0.0125
+		}
+		if s.Pt <= 0 || s.Pt >= 1 {
+			return fmt.Errorf("pt %v must be in (0,1)", s.Pt)
+		}
+		if s.Length < 0 {
+			return fmt.Errorf("length %d must be non-negative", s.Length)
+		}
+	default:
+		return fmt.Errorf("unknown alg %q (want one of %s)", s.Alg, strings.Join(validAlgs, "|"))
+	}
+	switch s.Alg {
+	case "rwr":
+		if s.Restart == 0 {
+			s.Restart = 0.15
+		}
+		if s.Restart <= 0 || s.Restart >= 1 {
+			return fmt.Errorf("restart %v must be in (0,1)", s.Restart)
+		}
+	case "node2vec":
+		if s.P == 0 {
+			s.P = 1
+		}
+		if s.Q == 0 {
+			s.Q = 1
+		}
+		if s.P < 0 || s.Q < 0 {
+			return fmt.Errorf("node2vec p=%v q=%v must be positive", s.P, s.Q)
+		}
+	case "metapath":
+		if s.Schemes == "" {
+			s.Schemes = "0"
+		}
+		if _, err := parseSchemes(s.Schemes); err != nil {
+			return err
+		}
+	}
+	if s.Biased && !g.Weighted() {
+		return fmt.Errorf("biased walk requires a weighted graph")
+	}
+	if s.Walkers < 0 || s.Nodes < 0 || s.Workers < 0 || s.CheckpointEvery < 0 {
+		return fmt.Errorf("walkers, nodes, workers, checkpoint_every must be non-negative")
+	}
+	if s.Walkers == 0 {
+		s.Walkers = g.NumVertices()
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 1
+	}
+	if s.Workers == 0 {
+		s.Workers = 4
+	}
+	return nil
+}
+
+// algorithm builds the core.Algorithm for a normalized spec.
+func (s *JobSpec) algorithm() (*core.Algorithm, error) {
+	switch s.Alg {
+	case "deepwalk":
+		return alg.DeepWalk(s.Length, s.Biased), nil
+	case "ppr":
+		return alg.PPR(s.Pt, s.Biased, s.Length), nil
+	case "rwr":
+		return alg.RWR(s.Restart, s.Biased, s.Length), nil
+	case "metapath":
+		schemes, err := parseSchemes(s.Schemes)
+		if err != nil {
+			return nil, err
+		}
+		return alg.MetaPath(schemes, s.Length, s.Biased), nil
+	case "node2vec":
+		return alg.Node2Vec(alg.Node2VecParams{
+			P: s.P, Q: s.Q, Length: s.Length, Biased: s.Biased,
+			LowerBound: true, FoldOutlier: true,
+		}), nil
+	}
+	return nil, fmt.Errorf("unknown alg %q", s.Alg)
+}
+
+// parseSchemes parses "0,1;2,0,1" into [][]int32{{0,1},{2,0,1}} — the same
+// syntax kkwalk's -schemes flag accepts, but returning an error instead of
+// exiting.
+func parseSchemes(s string) ([][]int32, error) {
+	var schemes [][]int32
+	for _, part := range strings.Split(s, ";") {
+		var scheme []int32
+		for _, tok := range strings.Split(part, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(tok, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad scheme element %q", tok)
+			}
+			scheme = append(scheme, int32(v))
+		}
+		if len(scheme) > 0 {
+			schemes = append(schemes, scheme)
+		}
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("no schemes parsed from %q", s)
+	}
+	return schemes, nil
+}
+
+// Job is one submitted walk run and its retained outcome. All mutable
+// fields are guarded by mu; the scheduler is the only writer of state
+// transitions, except that a queued job can be cancelled directly.
+type Job struct {
+	ID   string
+	Spec JobSpec // normalized at submission
+
+	// cancel is closed (once) to request a cooperative engine abort; it is
+	// wired into core.Config.Cancel.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	report    *stats.Report // retained for done jobs
+	lengths   walkLengths
+	ckptDir   string
+	counters  *stats.Counters // live while running; engine-owned
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// walkLengths is the retained walk-length digest of a finished run.
+type walkLengths struct {
+	Mean float64 `json:"mean"`
+	Max  int64   `json:"max"`
+}
+
+// requestCancel closes the job's cancel channel (idempotent).
+func (j *Job) requestCancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+}
+
+// JobStatus is the GET /jobs/{id} payload.
+type JobStatus struct {
+	ID            string    `json:"id"`
+	State         JobState  `json:"state"`
+	Graph         string    `json:"graph"`
+	Alg           string    `json:"alg"`
+	Seed          uint64    `json:"seed"`
+	Walkers       int       `json:"walkers"`
+	Error         string    `json:"error,omitempty"`
+	CheckpointDir string    `json:"checkpoint_dir,omitempty"`
+	SubmittedAt   time.Time `json:"submitted_at"`
+	StartedAt     time.Time `json:"started_at,omitzero"`
+	FinishedAt    time.Time `json:"finished_at,omitzero"`
+}
+
+// Status snapshots the job's public state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:            j.ID,
+		State:         j.state,
+		Graph:         j.Spec.Graph,
+		Alg:           j.Spec.Alg,
+		Seed:          j.Spec.Seed,
+		Walkers:       j.Spec.Walkers,
+		Error:         j.errMsg,
+		CheckpointDir: j.ckptDir,
+		SubmittedAt:   j.submitted,
+		StartedAt:     j.started,
+		FinishedAt:    j.finished,
+	}
+}
+
+// JobResult is the GET /jobs/{id}/result payload of a done job: the
+// engine's machine-independent run report plus the walk-length digest.
+type JobResult struct {
+	ID          string       `json:"id"`
+	State       JobState     `json:"state"`
+	Report      stats.Report `json:"report"`
+	WalkLengths walkLengths  `json:"walk_lengths"`
+}
+
+// Result returns the retained result of a done job; ok is false (with the
+// current status for error reporting) in every other state.
+func (j *Job) Result() (JobResult, JobStatus, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.report == nil {
+		st := JobStatus{ID: j.ID, State: j.state, Error: j.errMsg}
+		return JobResult{}, st, false
+	}
+	return JobResult{
+		ID:          j.ID,
+		State:       j.state,
+		Report:      *j.report,
+		WalkLengths: j.lengths,
+	}, JobStatus{}, true
+}

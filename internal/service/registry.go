@@ -1,0 +1,115 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"knightking/internal/graph"
+)
+
+// GraphInfo is the registry's public description of one named graph, as
+// returned by GET /graphs.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Weighted bool   `json:"weighted"`
+	Typed    bool   `json:"typed"`
+	// Fingerprint is graph.Fingerprint rendered as 16 hex digits — the
+	// content identity behind the name.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// GraphRegistry holds the service's named, load-once graphs. Entries are
+// immutable *graph.Graph values shared read-only by every job that names
+// them — the amortization that makes a long-running walk server worth
+// having: parse and index a graph once, run many workloads against it.
+//
+// A name is bound to a graph's content, not to whoever registered first:
+// re-registering the same content under the same name is an idempotent
+// no-op (so a restart script can blindly re-register), while registering
+// different content under a taken name is rejected, because jobs refer to
+// graphs by name and silently swapping the content would change what a
+// (graph, seed, params) submission means.
+type GraphRegistry struct {
+	mu      sync.RWMutex
+	entries map[string]*graphEntry
+}
+
+type graphEntry struct {
+	g    *graph.Graph
+	fp   uint64
+	info GraphInfo
+}
+
+// NewGraphRegistry returns an empty registry.
+func NewGraphRegistry() *GraphRegistry {
+	return &GraphRegistry{entries: make(map[string]*graphEntry)}
+}
+
+// Register binds name to g. See the GraphRegistry doc for the identity
+// rules; the error distinguishes an invalid name from a name collision.
+func (r *GraphRegistry) Register(name string, g *graph.Graph) (GraphInfo, error) {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return GraphInfo{}, fmt.Errorf("service: invalid graph name %q (need non-empty, no slashes or whitespace)", name)
+	}
+	if g == nil {
+		return GraphInfo{}, fmt.Errorf("service: registering nil graph %q", name)
+	}
+	fp := graph.Fingerprint(g)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.entries[name]; ok {
+		if prev.fp == fp {
+			return prev.info, nil // same content: idempotent
+		}
+		return GraphInfo{}, fmt.Errorf("service: graph name %q already bound to different content (registered %s, offered %016x)",
+			name, prev.info.Fingerprint, fp)
+	}
+	e := &graphEntry{
+		g:  g,
+		fp: fp,
+		info: GraphInfo{
+			Name:        name,
+			Vertices:    g.NumVertices(),
+			Edges:       g.NumEdges(),
+			Weighted:    g.Weighted(),
+			Typed:       g.Typed(),
+			Fingerprint: fmt.Sprintf("%016x", fp),
+		},
+	}
+	r.entries[name] = e
+	return e.info, nil
+}
+
+// Get returns the graph bound to name.
+func (r *GraphRegistry) Get(name string) (*graph.Graph, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.g, true
+}
+
+// List returns every registered graph's info, sorted by name.
+func (r *GraphRegistry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered graphs.
+func (r *GraphRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -250,7 +250,12 @@ func (e *inprocEndpoint) Exchange() ([]Message, error) {
 		for g.round == myRound && !g.closed {
 			g.cond.Wait()
 		}
-		if g.closed {
+		// Error only if this round never completed: a round that finished
+		// before the group closed (e.g. a peer exiting uniformly right after
+		// the barrier, as cooperative cancellation does) must still deliver,
+		// or peers would see a spurious transport error instead of their own
+		// copy of the collective decision.
+		if g.round == myRound {
 			return nil, fmt.Errorf("transport: group closed during exchange")
 		}
 	}

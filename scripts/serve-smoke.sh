@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Smoke-test the kkserve walk service end to end the way an operator
+# would: start the daemon with a preloaded graph, submit a node2vec job
+# over HTTP, poll it to completion, fetch the JSON report, check that an
+# identical resubmission returns identical walk statistics, and cancel a
+# long-running job (it must reach `cancelled` in under 2 seconds).
+# Used by CI; runnable locally with `scripts/serve-smoke.sh`.
+set -euo pipefail
+
+PORT="${SERVE_SMOKE_PORT:-19754}"
+BASE="http://127.0.0.1:$PORT"
+DIR="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/kkgen" ./cmd/kkgen
+go build -o "$DIR/kkserve" ./cmd/kkserve
+
+"$DIR/kkgen" -kind powerlaw -n 2000 -min 2 -cap 200 -alpha 2.1 -o "$DIR/g.txt"
+
+"$DIR/kkserve" -addr "127.0.0.1:$PORT" -workers 2 -graph "pl2000=$DIR/g.txt" \
+    2>"$DIR/serve.log" &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "serve-smoke: kkserve exited before answering; log:" >&2
+        cat "$DIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+curl -sf "$BASE/graphs" | grep -q '"pl2000"' \
+    || { echo "serve-smoke: preloaded graph missing from /graphs" >&2; exit 1; }
+
+job_id() { grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4; }
+
+submit() { curl -sf -X POST "$BASE/jobs" -d "$1"; }
+
+# Poll a job until it reaches the wanted terminal state.
+await() { # id want timeout_iters
+    local id="$1" want="$2" iters="${3:-150}"
+    for i in $(seq 1 "$iters"); do
+        STATE="$(curl -sf "$BASE/jobs/$id" | grep -o '"state": "[^"]*"' | cut -d'"' -f4)"
+        case "$STATE" in
+        "$want") return 0 ;;
+        done | failed | cancelled)
+            echo "serve-smoke: job $id ended $STATE, want $want" >&2
+            return 1
+            ;;
+        esac
+        sleep 0.1
+    done
+    echo "serve-smoke: job $id still $STATE, want $want" >&2
+    return 1
+}
+
+N2V='{"graph":"pl2000","alg":"node2vec","length":20,"p":2,"q":0.5,"seed":42,"walkers":2000}'
+
+ID1="$(submit "$N2V" | job_id)"
+[ -n "$ID1" ] || { echo "serve-smoke: submission returned no job id" >&2; exit 1; }
+await "$ID1" done
+
+curl -sf "$BASE/jobs/$ID1/result" >"$DIR/r1.json"
+grep -q '"algorithm": "node2vec"' "$DIR/r1.json" \
+    || { echo "serve-smoke: result missing algorithm" >&2; cat "$DIR/r1.json" >&2; exit 1; }
+STEPS="$(grep -o '"steps": [0-9]*' "$DIR/r1.json" | head -1 | grep -o '[0-9]*')"
+if [ -z "$STEPS" ] || [ "$STEPS" -eq 0 ]; then
+    echo "serve-smoke: result reports zero steps" >&2
+    exit 1
+fi
+
+# Determinism through the service: an identical (graph, seed, params)
+# submission must return identical walk statistics (wall-clock fields
+# aside).
+ID2="$(submit "$N2V" | job_id)"
+await "$ID2" done
+curl -sf "$BASE/jobs/$ID2/result" >"$DIR/r2.json"
+strip() {
+    python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))["report"]
+for k in list(r):
+    if k.endswith("seconds") or k == "steps_per_second":
+        del r[k]
+print(json.dumps(r, sort_keys=True))
+' "$1"
+}
+if [ "$(strip "$DIR/r1.json")" != "$(strip "$DIR/r2.json")" ]; then
+    echo "serve-smoke: identical submissions returned different statistics" >&2
+    diff <(strip "$DIR/r1.json") <(strip "$DIR/r2.json") >&2 || true
+    exit 1
+fi
+
+# Cancellation: a job with an absurd walk length must reach `cancelled`
+# within 2 seconds of the DELETE.
+LONG='{"graph":"pl2000","alg":"deepwalk","length":10000000,"seed":7,"walkers":2000}'
+ID3="$(submit "$LONG" | job_id)"
+await "$ID3" running
+T0="$(date +%s%N)"
+curl -sf -X DELETE "$BASE/jobs/$ID3" >/dev/null
+await "$ID3" cancelled
+T1="$(date +%s%N)"
+MS=$(((T1 - T0) / 1000000))
+if [ "$MS" -ge 2000 ]; then
+    echo "serve-smoke: cancellation took ${MS}ms, want < 2000ms" >&2
+    exit 1
+fi
+
+curl -sf "$BASE/metrics" | grep -q '^kk_serve_jobs_completed_total 2' \
+    || { echo "serve-smoke: /metrics completed count wrong" >&2; exit 1; }
+curl -sf "$BASE/metrics" | grep -q '^kk_serve_jobs_cancelled_total 1' \
+    || { echo "serve-smoke: /metrics cancelled count wrong" >&2; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+
+echo "serve-smoke: OK (report steps $STEPS, cancel latency ${MS}ms)"
