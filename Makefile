@@ -27,11 +27,14 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # The benchmark set tracked in BENCH_<pr>.json across PRs: the transport
-# exchange hot path, the in-process engine controls, and the telemetry
-# run report (edges/step, trials/step, pre-accept ratio, straggler skew).
+# exchange hot path, the in-process engine controls, the dynamic-graph
+# ingest/compaction path (ns/edge across |V| — the O(affected-vertex)
+# check), and the telemetry run report (edges/step, trials/step,
+# pre-accept ratio, straggler skew).
 bench-record:
 	go test -run=NONE -bench 'BenchmarkTCPExchangeManySmall|BenchmarkTCPExchange2x64KB|BenchmarkInProcExchange4x64KB' -benchmem -count=3 ./internal/transport/
 	go test -run=NONE -bench 'BenchmarkEngineDeepWalk4Nodes|BenchmarkEngineNode2Vec4Nodes' -benchmem ./internal/core/
+	go test -run=NONE -bench 'BenchmarkIngest|BenchmarkSamplerUpdate|BenchmarkCompact' -benchmem ./internal/dyngraph/
 	go run ./cmd/kkbench -report
 
 # Short fuzz pass over every fuzz target.
@@ -43,6 +46,7 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=15s ./internal/transport/
 	go test -run=Fuzz -fuzz=FuzzReadManifest -fuzztime=15s ./internal/checkpoint/
 	go test -run=Fuzz -fuzz=FuzzRead -fuzztime=15s ./internal/trace/
+	go test -run=Fuzz -fuzz=FuzzApplyDeltas -fuzztime=15s ./internal/dyngraph/
 
 # End-to-end smoke tests of the two operator surfaces: the kkwalk admin
 # server and the kkserve walk service.

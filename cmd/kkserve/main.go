@@ -9,15 +9,19 @@
 //	kkserve -addr localhost:7474 -checkpoint-root /var/lib/kk/ckpt
 //
 // Graphs can be preloaded with repeated -graph name=path[:binary][:undirected]
-// flags or loaded later via POST /graphs. The API:
+// flags or loaded later via POST /graphs. Loaded graphs are dynamic:
+// edge deltas ingested while the server runs publish new epochs, and
+// each job is pinned to the epoch current at its admission. The API:
 //
-//	POST   /graphs            {"name":..., "path":..., "binary":..., "undirected":...}
+//	POST   /graphs                 {"name":..., "path":..., "binary":..., "undirected":...}
 //	GET    /graphs
-//	POST   /jobs              {"graph":..., "alg":..., "seed":..., ...}
-//	GET    /jobs              all retained jobs
-//	GET    /jobs/{id}         status
-//	GET    /jobs/{id}/result  walk report (done jobs)
-//	DELETE /jobs/{id}         cancel, or discard a terminal job's record
+//	POST   /graphs/{name}/edges    {"edges":[{"src":0,"dst":1,"weight":2.5}, {"op":"delete",...}, ...]}
+//	POST   /graphs/{name}/compact  fold the delta overlay into a fresh CSR
+//	POST   /jobs                   {"graph":..., "alg":..., "seed":..., ...}
+//	GET    /jobs                   all retained jobs
+//	GET    /jobs/{id}              status (includes the pinned epoch)
+//	GET    /jobs/{id}/result       walk report (done jobs)
+//	DELETE /jobs/{id}              cancel, or discard a terminal job's record
 //	GET    /metrics /statusz /healthz /debug/pprof
 //
 // SIGINT/SIGTERM shuts down cleanly: in-flight jobs are cancelled at
@@ -49,10 +53,12 @@ func (g *graphFlags) Set(v string) error {
 func main() {
 	var graphs graphFlags
 	var (
-		addr     = flag.String("addr", "localhost:7474", "HTTP listen address")
-		workers  = flag.Int("workers", 2, "concurrent walk jobs")
-		queue    = flag.Int("queue", 64, "admission queue depth (submissions beyond it get 429)")
-		ckptRoot = flag.String("checkpoint-root", "", "enable per-job checkpointing under this directory")
+		addr         = flag.String("addr", "localhost:7474", "HTTP listen address")
+		workers      = flag.Int("workers", 2, "concurrent walk jobs")
+		queue        = flag.Int("queue", 64, "admission queue depth (submissions beyond it get 429)")
+		ckptRoot     = flag.String("checkpoint-root", "", "enable per-job checkpointing under this directory")
+		compactAfter = flag.Int("compact-after", 0, "auto-compact a graph after this many ingested deltas (0 = explicit compaction only)")
+		samplerKind  = flag.String("sampler-kind", "alias", "static sampler maintained across ingest for weighted graphs: alias|its")
 	)
 	flag.Var(&graphs, "graph", "preload a graph: name=path[:binary][:undirected] (repeatable)")
 	flag.Parse()
@@ -62,6 +68,8 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CheckpointRoot: *ckptRoot,
+		CompactAfter:   *compactAfter,
+		SamplerKind:    *samplerKind,
 	})
 
 	for _, spec := range graphs {

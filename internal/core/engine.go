@@ -77,6 +77,16 @@ type Config struct {
 	// O(1) per draw) or "its" (CDF + binary search, O(log d) per draw).
 	// Exposed for the ablation in the paper's §3 discussion.
 	SamplerKind string
+	// Samplers, when non-nil, supplies prebuilt per-vertex static sampler
+	// tables — e.g. a dynamic-graph epoch's incrementally maintained ones —
+	// so setup skips the O(E) table build. A provided table is used only
+	// where it applies exactly: the algorithm's static weights must be the
+	// graph's edge weights (Biased with no EdgeStaticComp) and the
+	// provider's kind must match SamplerKind; otherwise, and for vertices
+	// where the provider returns nil, the engine builds locally as always.
+	// Tables must have been built from this exact Graph: a degree mismatch
+	// panics rather than silently walking a stale epoch.
+	Samplers SamplerProvider
 	// LightThreshold enables straggler-aware light mode below this active
 	// count; 0 selects DefaultLightThreshold, negative disables.
 	LightThreshold int
@@ -134,6 +144,18 @@ type Config struct {
 	// checkpointed run (graph, algorithm, seed, walker count, rank count);
 	// mismatches are rejected. See internal/checkpoint.Load.
 	Restore *RestoreState
+}
+
+// SamplerProvider supplies prebuilt per-vertex static sampler tables.
+// internal/dyngraph's Epoch is the production implementation: its tables
+// are maintained incrementally across edge ingest, so handing them to
+// the engine makes per-run setup O(1) per vertex instead of O(degree).
+type SamplerProvider interface {
+	// StaticSampler returns the weight-proportional table for v, or nil
+	// when the provider has none (the engine then builds locally).
+	StaticSampler(v graph.VertexID) sampling.StaticSampler
+	// StaticKind reports the structure the tables use: "alias" or "its".
+	StaticKind() string
 }
 
 // CheckpointSink stores consistent superstep snapshots. Implementations
@@ -511,6 +533,19 @@ func (n *node) buildSamplers() {
 	if n.alg.dynamic() {
 		n.rejections = make([]*sampling.Rejection, count)
 	}
+	// A sampler provider replaces local construction only when its tables
+	// are exactly what the build loop would produce: edge-weight statics
+	// (Biased, no EdgeStaticComp) of the matching structure kind.
+	provider := n.cfg.Samplers
+	if provider != nil {
+		kind := n.cfg.SamplerKind
+		if kind == "" {
+			kind = "alias"
+		}
+		if !n.alg.Biased || n.alg.EdgeStaticComp != nil || provider.StaticKind() != kind {
+			provider = nil
+		}
+	}
 	for i := 0; i < count; i++ {
 		v := n.lo + graph.VertexID(i)
 		deg := n.g.Degree(v)
@@ -518,9 +553,19 @@ func (n *node) buildSamplers() {
 			continue
 		}
 		var s sampling.StaticSampler
-		if n.alg.uniformStatic() {
+		if provider != nil {
+			if pre := provider.StaticSampler(v); pre != nil {
+				if pre.N() != deg {
+					panic(fmt.Sprintf("core: provided sampler of vertex %d covers %d edges, degree is %d (stale epoch?)", v, pre.N(), deg))
+				}
+				s = pre
+			}
+		}
+		switch {
+		case s != nil: // provided above
+		case n.alg.uniformStatic():
 			s = sampling.NewUniform(deg)
-		} else {
+		default:
 			weights := make([]float32, deg)
 			for j := 0; j < deg; j++ {
 				weights[j] = n.alg.staticWeight(n.g, v, j)

@@ -1,0 +1,67 @@
+package dyngraph
+
+import (
+	"knightking/internal/graph"
+	"knightking/internal/sampling"
+)
+
+// testHookMidCompact, when set by tests, runs after the new base CSR is
+// materialized but before the epoch is published — the window a crash
+// test injects a panic into to prove published epochs are never torn.
+var testHookMidCompact func()
+
+// Compact folds the overlay into a fresh plain CSR and publishes it as
+// a new epoch. The epoch content is exactly what loading the compacted
+// edge list from scratch would produce — same graph.Fingerprint — and
+// all maintained envelopes become tight again (the lazy-tighten step).
+// A no-op returning the current epoch when there is nothing to fold.
+//
+// Crash safety: the current epoch pointer is the last thing written, so
+// a failure anywhere in compaction leaves the previous epoch published
+// and fully usable, and a retry starts from unchanged state.
+func (d *DynGraph) Compact() (*Epoch, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked()
+}
+
+func (d *DynGraph) compactLocked() (*Epoch, error) {
+	prev := d.cur.Load()
+	if !prev.view.Overlaid() {
+		return prev, nil
+	}
+	newBase := prev.view.Compacted()
+
+	// Fold the sampler store: a compacted vertex's weights are exactly
+	// its overlay segment's weights, so the overlay tables move into the
+	// dense base table by pointer — no rebuild, still O(touched).
+	var store *samplerView
+	if prev.store != nil {
+		tabs := append([]sampling.StaticSampler(nil), prev.store.base...)
+		for i, v := range prev.store.verts {
+			tabs[v] = prev.store.tabs[i]
+		}
+		store = &samplerView{kind: prev.kind, base: tabs}
+	}
+
+	if testHookMidCompact != nil {
+		testHookMidCompact()
+	}
+
+	ep := &Epoch{
+		seq:   prev.seq + 1,
+		view:  newBase,
+		fpSet: true,
+		fp:    graph.Fingerprint(newBase),
+		logFP: mixU64(prev.logFP, markCompact),
+		kind:  prev.kind,
+		store: store,
+	}
+
+	d.base = newBase
+	d.verts, d.segs, d.envs = nil, nil, nil
+	d.pending = 0
+	d.compactions++
+	d.cur.Store(ep)
+	return ep, nil
+}

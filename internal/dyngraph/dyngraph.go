@@ -1,0 +1,441 @@
+// Package dyngraph adds dynamic graphs to the engine: a mutable delta
+// layer over the immutable CSR with an epoch/snapshot model. Writers
+// apply batches of edge insertions and deletions; each batch publishes a
+// new immutable Epoch whose view is a graph.Graph overlay (per-vertex
+// replacement segments over the shared base arrays), while walks keep
+// running against whichever epoch they admitted on. A compactor folds
+// the overlay into a fresh plain CSR once it grows past a threshold.
+//
+// The part that makes this cheap is *incremental* sampler maintenance,
+// following the factorization insight of Bingo (PAPERS.md): the static
+// alias/ITS tables and the rejection envelopes Q(v)/L(v) are per-vertex,
+// so an ingested edge only invalidates the structures of its source
+// vertex. Apply rebuilds exactly the touched vertices' tables (O(degree)
+// each) and widens their envelopes in O(1); untouched vertices share
+// their tables with the previous epoch by pointer. Deletions leave the
+// envelope loose-but-valid (rejection sampling stays exact, it just
+// burns extra trials) and compaction tightens everything back.
+//
+// Determinism contract: same epoch + same seed ⇒ bit-identical walks.
+// The package therefore keeps every structure in sorted slices — no maps
+// anywhere on the apply/compact path — and carries no clocks; timing
+// belongs to the serving layer.
+package dyngraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"knightking/internal/graph"
+	"knightking/internal/sampling"
+)
+
+// Op is a delta operation kind.
+type Op string
+
+const (
+	// OpInsert adds the edge, or re-weights it if it already exists
+	// (upsert). The empty string means insert too, so plain JSON edge
+	// lists ingest without an op field.
+	OpInsert Op = "insert"
+	// OpDelete removes an existing edge; deleting a missing edge fails
+	// the whole batch.
+	OpDelete Op = "delete"
+)
+
+// Delta is one edge mutation. Directed: it touches only Src's adjacency
+// (callers wanting undirected semantics submit both directions, exactly
+// like the loaders store undirected inputs twice).
+type Delta struct {
+	Op     Op             `json:"op,omitempty"`
+	Src    graph.VertexID `json:"src"`
+	Dst    graph.VertexID `json:"dst"`
+	Weight float32        `json:"weight,omitempty"`
+	Type   int32          `json:"type,omitempty"`
+}
+
+// Options configures a DynGraph.
+type Options struct {
+	// SamplerKind selects the per-vertex static sampler the epochs
+	// prebuild for weighted graphs: "alias" (default) or "its". Must
+	// match the engine's SamplerKind for the prebuilt tables to be used.
+	SamplerKind string
+	// CompactAfter, when positive, auto-compacts after that many applied
+	// deltas have accumulated since the last compaction. Zero disables
+	// auto-compaction (explicit Compact only).
+	CompactAfter int
+}
+
+// edgeRec is one live overlay edge.
+type edgeRec struct {
+	dst graph.VertexID
+	w   float32
+	t   int32
+}
+
+// Metrics is a point-in-time snapshot of a DynGraph's counters.
+type Metrics struct {
+	Epoch          uint64
+	DeltaVertices  int
+	DeltaEdges     int64
+	PendingDeltas  int64
+	AppliedBatches int64
+	AppliedDeltas  int64
+	Compactions    int64
+}
+
+// DynGraph is a dynamic graph: an immutable base CSR plus per-vertex
+// delta segments, publishing immutable epochs. Apply and Compact are
+// serialized by an internal mutex; Epoch is lock-free and safe from any
+// goroutine.
+type DynGraph struct {
+	opt Options
+
+	mu   sync.Mutex
+	base *graph.Graph
+	// Overlay working state, parallel arrays keyed by the sorted vertex
+	// list: verts[i]'s live adjacency is segs[i], its maintained
+	// envelope envs[i]. Flattened into graph.NewOverlay arrays at each
+	// publish.
+	verts []graph.VertexID
+	segs  [][]edgeRec
+	envs  []sampling.Envelope
+
+	pending        int64 // deltas since the last compaction
+	appliedBatches int64
+	appliedDeltas  int64
+	compactions    int64
+
+	cur atomic.Pointer[Epoch]
+}
+
+// New wraps base (which must be a full, plain CSR) as a dynamic graph
+// and publishes epoch 0: the base itself, fingerprinted, with its
+// static sampler tables prebuilt when the base is weighted.
+func New(base *graph.Graph, opt Options) (*DynGraph, error) {
+	if base == nil {
+		return nil, fmt.Errorf("dyngraph: nil base")
+	}
+	if base.Overlaid() {
+		return nil, fmt.Errorf("dyngraph: base must be a plain CSR, not an overlay view")
+	}
+	if lo, hi := base.OwnedRange(); int(lo) != 0 || int(hi) != base.NumVertices() {
+		return nil, fmt.Errorf("dyngraph: base must be a full graph, not a partition slice")
+	}
+	switch opt.SamplerKind {
+	case "":
+		opt.SamplerKind = "alias"
+	case "alias", "its":
+	default:
+		return nil, fmt.Errorf("dyngraph: unknown sampler kind %q", opt.SamplerKind)
+	}
+	if opt.CompactAfter < 0 {
+		return nil, fmt.Errorf("dyngraph: negative CompactAfter")
+	}
+
+	d := &DynGraph{opt: opt, base: base}
+	store, err := d.baseStore(base)
+	if err != nil {
+		return nil, err
+	}
+	fp := graph.Fingerprint(base)
+	d.cur.Store(&Epoch{
+		view:  base,
+		fpSet: true,
+		fp:    fp,
+		logFP: chainSeed(fp),
+		kind:  opt.SamplerKind,
+		store: store,
+	})
+	return d, nil
+}
+
+// baseStore prebuilds the per-vertex static sampler table of a plain
+// CSR, or returns nil for unweighted graphs (the engine's uniform
+// sampler is O(1) to build; there is nothing worth caching).
+func (d *DynGraph) baseStore(g *graph.Graph) (*samplerView, error) {
+	if !g.Weighted() {
+		return nil, nil
+	}
+	n := g.NumVertices()
+	tabs := make([]sampling.StaticSampler, n)
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.VertexID(v)) == 0 {
+			continue
+		}
+		s, err := buildTable(d.opt.SamplerKind, g.Weights(graph.VertexID(v)))
+		if err != nil {
+			return nil, fmt.Errorf("dyngraph: vertex %d: %w", v, err)
+		}
+		tabs[v] = s
+	}
+	return &samplerView{kind: d.opt.SamplerKind, base: tabs}, nil
+}
+
+func buildTable(kind string, weights []float32) (sampling.StaticSampler, error) {
+	if kind == "its" {
+		return sampling.NewITS(weights)
+	}
+	return sampling.NewAlias(weights)
+}
+
+// Epoch returns the currently published epoch. The returned value is
+// immutable and stays valid (and walkable) forever, including across
+// later Apply and Compact calls.
+func (d *DynGraph) Epoch() *Epoch {
+	return d.cur.Load()
+}
+
+// Apply validates and applies one batch of deltas atomically: either the
+// whole batch lands and a new epoch is published, or the graph is
+// unchanged and an error describes the first offending delta. Sampler
+// maintenance is incremental — only vertices named as a Src in the batch
+// get their tables rebuilt; everything else is shared by pointer with
+// the previous epoch.
+func (d *DynGraph) Apply(batch []Delta) (*Epoch, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("dyngraph: empty batch")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	n := d.base.NumVertices()
+	weighted := d.base.Weighted()
+	typed := d.base.Typed()
+
+	// Copy-on-write working state: the slices are copied up front (cheap
+	// pointer copies), individual segments only when first touched, so a
+	// failed batch discards cleanly and published epochs are never
+	// disturbed.
+	verts := append([]graph.VertexID(nil), d.verts...)
+	segs := append([][]edgeRec(nil), d.segs...)
+	envs := append([]sampling.Envelope(nil), d.envs...)
+	touched := make([]bool, len(verts))
+
+	// ensure returns the working index of v's segment, materializing it
+	// from the base adjacency on first touch (O(degree), with an exact
+	// envelope scan).
+	ensure := func(v graph.VertexID) int {
+		i := sort.Search(len(verts), func(i int) bool { return verts[i] >= v })
+		if i < len(verts) && verts[i] == v {
+			if !touched[i] {
+				segs[i] = append([]edgeRec(nil), segs[i]...)
+				touched[i] = true
+			}
+			return i
+		}
+		adj := d.base.Neighbors(v)
+		ws := d.base.Weights(v)
+		ts := d.base.Types(v)
+		seg := make([]edgeRec, len(adj))
+		for j, dst := range adj {
+			seg[j].dst = dst
+			seg[j].w = 1
+			if ws != nil {
+				seg[j].w = ws[j]
+			}
+			if ts != nil {
+				seg[j].t = ts[j]
+			}
+		}
+		env := sampling.ExactEnvelope(ws)
+		if ws == nil { // unweighted: every live weight is 1
+			env = sampling.NewEnvelope(1, 1, len(adj))
+		}
+		verts = append(verts, 0)
+		copy(verts[i+1:], verts[i:])
+		verts[i] = v
+		segs = append(segs, nil)
+		copy(segs[i+1:], segs[i:])
+		segs[i] = seg
+		envs = append(envs, sampling.Envelope{})
+		copy(envs[i+1:], envs[i:])
+		envs[i] = env
+		touched = append(touched, false)
+		copy(touched[i+1:], touched[i:])
+		touched[i] = true
+		return i
+	}
+
+	for k := range batch {
+		del := &batch[k]
+		if int(del.Src) >= n || int(del.Dst) >= n {
+			return nil, fmt.Errorf("dyngraph: delta %d: edge %d->%d outside |V|=%d (the vertex set is fixed at load)", k, del.Src, del.Dst, n)
+		}
+		switch del.Op {
+		case OpInsert, "":
+			w := del.Weight
+			if weighted {
+				if !(w > 0) || math.IsInf(float64(w), 0) || math.IsNaN(float64(w)) {
+					return nil, fmt.Errorf("dyngraph: delta %d: weight %v on a weighted graph, want positive finite", k, w)
+				}
+			} else {
+				if w != 0 && w != 1 {
+					return nil, fmt.Errorf("dyngraph: delta %d: weight %v on an unweighted graph", k, w)
+				}
+				w = 1
+			}
+			if !typed && del.Type != 0 {
+				return nil, fmt.Errorf("dyngraph: delta %d: type %d on an untyped graph", k, del.Type)
+			}
+			i := ensure(del.Src)
+			seg := segs[i]
+			j := sort.Search(len(seg), func(j int) bool { return seg[j].dst >= del.Dst })
+			if j < len(seg) && seg[j].dst == del.Dst {
+				envs[i].Update(float64(seg[j].w), float64(w))
+				seg[j].w = w
+				seg[j].t = del.Type
+			} else {
+				seg = append(seg, edgeRec{})
+				copy(seg[j+1:], seg[j:])
+				seg[j] = edgeRec{dst: del.Dst, w: w, t: del.Type}
+				segs[i] = seg
+				envs[i].Insert(float64(w))
+			}
+		case OpDelete:
+			i := ensure(del.Src)
+			seg := segs[i]
+			j := sort.Search(len(seg), func(j int) bool { return seg[j].dst >= del.Dst })
+			if j >= len(seg) || seg[j].dst != del.Dst {
+				return nil, fmt.Errorf("dyngraph: delta %d: delete of missing edge %d->%d", k, del.Src, del.Dst)
+			}
+			envs[i].Delete(float64(seg[j].w))
+			segs[i] = append(seg[:j], seg[j+1:]...)
+		default:
+			return nil, fmt.Errorf("dyngraph: delta %d: unknown op %q", k, del.Op)
+		}
+	}
+
+	view, err := flatten(d.base, verts, segs, envs)
+	if err != nil {
+		return nil, err // unreachable if the invariants above hold
+	}
+
+	prev := d.cur.Load()
+	store, err := prev.store.extend(verts, segs, touched, d.opt.SamplerKind)
+	if err != nil {
+		return nil, err
+	}
+
+	logFP := prev.logFP
+	logFP = mixU64(logFP, markApply)
+	logFP = mixU64(logFP, uint64(len(batch)))
+	for k := range batch {
+		del := &batch[k]
+		op := uint64(0)
+		if del.Op == OpDelete {
+			op = 1
+		}
+		logFP = mixU64(logFP, op)
+		logFP = mixU64(logFP, uint64(del.Src))
+		logFP = mixU64(logFP, uint64(del.Dst))
+		logFP = mixU64(logFP, uint64(math.Float32bits(del.Weight)))
+		logFP = mixU64(logFP, uint64(uint32(del.Type)))
+	}
+
+	nv, deltaEdges := view.OverlayStats()
+	ep := &Epoch{
+		seq:  prev.seq + 1,
+		view: view,
+		// fp stays lazy: hashing the whole view here would make every
+		// Apply O(V+E) and sink the O(affected-vertex) ingest bound.
+		logFP:      logFP,
+		kind:       d.opt.SamplerKind,
+		store:      store,
+		deltaVerts: nv,
+		deltaEdges: deltaEdges,
+	}
+
+	d.verts, d.segs, d.envs = verts, segs, envs
+	d.pending += int64(len(batch))
+	d.appliedBatches++
+	d.appliedDeltas += int64(len(batch))
+	d.cur.Store(ep)
+
+	if d.opt.CompactAfter > 0 && d.pending >= int64(d.opt.CompactAfter) {
+		return d.compactLocked()
+	}
+	return ep, nil
+}
+
+// flatten materializes the working overlay state into a graph overlay
+// view sharing the base arrays.
+func flatten(base *graph.Graph, verts []graph.VertexID, segs [][]edgeRec, envs []sampling.Envelope) (*graph.Graph, error) {
+	total := 0
+	for _, seg := range segs {
+		total += len(seg)
+	}
+	offs := make([]int64, len(verts)+1)
+	dst := make([]graph.VertexID, 0, total)
+	var weight []float32
+	var etype []int32
+	if base.Weighted() {
+		weight = make([]float32, 0, total)
+	}
+	if base.Typed() {
+		etype = make([]int32, 0, total)
+	}
+	var maxW []float64
+	if base.Weighted() {
+		maxW = make([]float64, len(verts))
+	}
+	for i, seg := range segs {
+		for _, e := range seg {
+			dst = append(dst, e.dst)
+			if weight != nil {
+				weight = append(weight, e.w)
+			}
+			if etype != nil {
+				etype = append(etype, e.t)
+			}
+		}
+		offs[i+1] = int64(len(dst))
+		if maxW != nil {
+			maxW[i] = envs[i].Upper()
+		}
+	}
+	return graph.NewOverlay(base, verts, offs, dst, weight, etype, maxW)
+}
+
+// Metrics returns a consistent snapshot of the counters.
+func (d *DynGraph) Metrics() Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ep := d.cur.Load()
+	return Metrics{
+		Epoch:          ep.seq,
+		DeltaVertices:  ep.deltaVerts,
+		DeltaEdges:     ep.deltaEdges,
+		PendingDeltas:  d.pending,
+		AppliedBatches: d.appliedBatches,
+		AppliedDeltas:  d.appliedDeltas,
+		Compactions:    d.compactions,
+	}
+}
+
+// FNV-1a 64-bit chaining for the epoch delta-log fingerprint: the epoch
+// identity is a pure function of (base fingerprint, ordered batches,
+// compaction points), so two services that ingested the same history
+// address the same epoch.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+
+	markApply   = 1
+	markCompact = 2
+)
+
+func chainSeed(baseFP uint64) uint64 {
+	return mixU64(fnvOffset64, baseFP)
+}
+
+func mixU64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,146 @@
+package dyngraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"knightking/internal/graph"
+	"knightking/internal/sampling"
+)
+
+// Epoch is one immutable published snapshot of a dynamic graph: a
+// consistent graph view, its content fingerprint, the delta-log chain
+// fingerprint, and the prebuilt per-vertex static sampler tables. Jobs
+// pin the epoch they admit on and use it for their whole life; nothing
+// a writer does later can disturb it.
+//
+// Epoch implements core.SamplerProvider, so the engine samples from the
+// incrementally maintained tables instead of rebuilding them per run.
+type Epoch struct {
+	seq  uint64
+	view *graph.Graph
+
+	// fp is the O(V+E) content hash. Known at construction for epoch 0
+	// and post-compaction epochs (fpSet); computed lazily on first query
+	// for ingest epochs, so Apply stays O(affected-vertex) — the log
+	// fingerprint, maintained in O(batch), is the eager identity.
+	fpSet  bool
+	fpOnce sync.Once
+	fp     uint64
+
+	logFP uint64
+	kind  string
+	store *samplerView
+
+	deltaVerts int
+	deltaEdges int64
+}
+
+// Seq returns the epoch sequence number (0 = the loaded base).
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// View returns the epoch's graph view. Plain CSR for epoch 0 and for
+// every epoch right after a compaction; an overlay view otherwise.
+func (e *Epoch) View() *graph.Graph { return e.view }
+
+// Fingerprint returns the canonical content hash of the epoch:
+// graph.Fingerprint of the compacted view, so it is representation-
+// independent — an overlay epoch and the plain CSR holding the same
+// edges hash identically, and ingest followed by compaction that lands
+// back on the base content reports the base fingerprint. Computed on
+// first call for ingest epochs and cached; safe from any goroutine.
+func (e *Epoch) Fingerprint() uint64 {
+	if !e.fpSet {
+		e.fpOnce.Do(func() { e.fp = graph.Fingerprint(e.view.Compacted()) })
+	}
+	return e.fp
+}
+
+// LogFingerprint returns the delta-log chain hash: a pure function of
+// the base fingerprint, every applied batch in order, and compaction
+// points. Two services that ingested the same history agree on it even
+// across restarts.
+func (e *Epoch) LogFingerprint() uint64 { return e.logFP }
+
+// DeltaStats reports the overlay size at this epoch: vertices with
+// replacement segments, and the net edge delta versus the base.
+func (e *Epoch) DeltaStats() (verts int, edges int64) {
+	return e.deltaVerts, e.deltaEdges
+}
+
+// StaticSampler returns the prebuilt weight-proportional sampler for v,
+// or nil when the epoch has none (unweighted graph, or a zero-degree
+// vertex) and the caller should build its own. Implements the engine's
+// SamplerProvider.
+func (e *Epoch) StaticSampler(v graph.VertexID) sampling.StaticSampler {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.sampler(v)
+}
+
+// StaticKind returns the sampler kind the tables were built with
+// ("alias" or "its"); the engine only uses tables matching its own
+// configured kind.
+func (e *Epoch) StaticKind() string { return e.kind }
+
+// samplerView is an epoch's per-vertex static sampler table: a dense
+// base table (index = vertex) plus a sorted overlay list for vertices
+// whose adjacency diverged from the base. Both levels are shared by
+// pointer across epochs; an Apply only allocates tables for the
+// vertices it touched.
+type samplerView struct {
+	kind string
+	base []sampling.StaticSampler
+
+	verts []graph.VertexID
+	tabs  []sampling.StaticSampler
+}
+
+// sampler resolves v's table: overlay first, then base. nil for
+// zero-degree vertices.
+func (s *samplerView) sampler(v graph.VertexID) sampling.StaticSampler {
+	i := sort.Search(len(s.verts), func(i int) bool { return s.verts[i] >= v })
+	if i < len(s.verts) && s.verts[i] == v {
+		return s.tabs[i]
+	}
+	return s.base[v]
+}
+
+// extend produces the next epoch's view over the updated overlay state:
+// tables are rebuilt only where touched[i] is set (O(degree) each);
+// every other overlay vertex keeps the previous epoch's table by
+// pointer lookup. nil receiver (unweighted graph) stays nil.
+func (s *samplerView) extend(verts []graph.VertexID, segs [][]edgeRec, touched []bool, kind string) (*samplerView, error) {
+	if s == nil {
+		return nil, nil
+	}
+	out := &samplerView{
+		kind:  kind,
+		base:  s.base,
+		verts: verts,
+		tabs:  make([]sampling.StaticSampler, len(verts)),
+	}
+	weights := make([]float32, 0, 64)
+	for i, v := range verts {
+		if !touched[i] {
+			out.tabs[i] = s.sampler(v)
+			continue
+		}
+		seg := segs[i]
+		if len(seg) == 0 {
+			continue // zero-degree: no table, like the base convention
+		}
+		weights = weights[:0]
+		for _, e := range seg {
+			weights = append(weights, e.w)
+		}
+		tab, err := buildTable(kind, weights)
+		if err != nil {
+			return nil, fmt.Errorf("dyngraph: rebuild sampler of vertex %d: %w", v, err)
+		}
+		out.tabs[i] = tab
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package dyngraph
+
+import (
+	"testing"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+// FuzzApplyDeltas drives random insert/delete batches through Apply and
+// checks the overlay view against the rebuilt-from-scratch CSR oracle:
+// Apply must never panic, must reject exactly what the naive model
+// rejects, and on success the epoch's compacted view must fingerprint
+// identically to the rebuilt graph while staying structurally valid.
+func FuzzApplyDeltas(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x40})
+	f.Add([]byte{0x81, 0x02, 0x01, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := gen.WithUniformWeights(gen.UniformDegree(24, 4, 127), 1, 5, 128)
+		d, err := New(base, Options{CompactAfter: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := modelOf(base)
+
+		// Decode data into batches: each 4-byte group is one delta
+		// (op/batch-break, src, dst, weight quarter-steps); a high op bit
+		// ends the current batch.
+		var batch []Delta
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			ok := m.apply(batch)
+			ep, err := d.Apply(batch)
+			if ok != (err == nil) {
+				t.Fatalf("model says valid=%v, Apply says err=%v (batch %+v)", ok, err, batch)
+			}
+			if err == nil {
+				view := ep.View()
+				if verr := view.Validate(); verr != nil {
+					t.Fatalf("published view invalid: %v", verr)
+				}
+				if graph.Fingerprint(view.Compacted()) != graph.Fingerprint(m.rebuild()) {
+					t.Fatalf("overlay view diverged from rebuilt CSR after batch %+v", batch)
+				}
+			} else {
+				// Failed batches must keep the model in sync: rebuild the
+				// model from the current epoch.
+				m = modelOf(d.Epoch().View())
+			}
+			batch = nil
+		}
+		for i := 0; i+4 <= len(data) && i < 4*64; i += 4 {
+			op, src, dst, wq := data[i], data[i+1], data[i+2], data[i+3]
+			del := Delta{
+				Src:    graph.VertexID(src % 26), // occasionally out of range
+				Dst:    graph.VertexID(dst % 26),
+				Weight: float32(wq%20) * 0.25, // occasionally zero (invalid)
+			}
+			if op&1 != 0 {
+				del.Op = OpDelete
+				del.Weight = 0
+			}
+			batch = append(batch, del)
+			if op&0x80 != 0 {
+				flush()
+			}
+		}
+		flush()
+
+		// Final compaction must land exactly on the rebuilt content.
+		ep, err := d.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if graph.Fingerprint(ep.View()) != graph.Fingerprint(m.rebuild()) {
+			t.Fatal("compacted CSR diverged from rebuilt CSR")
+		}
+	})
+}

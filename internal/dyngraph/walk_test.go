@@ -1,0 +1,173 @@
+package dyngraph
+
+import (
+	"testing"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+)
+
+func runWalk(t *testing.T, ep *Epoch, program *core.Algorithm, seed uint64) *core.Result {
+	t.Helper()
+	res, err := core.Run(core.Config{
+		Graph:       ep.View(),
+		Algorithm:   program,
+		NumWalkers:  300,
+		NumNodes:    2,
+		Seed:        seed,
+		RecordPaths: true,
+		Samplers:    ep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func samePaths(a, b [][]graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWalkDeterminismAcrossEpochLifecycle is the PR's determinism pin:
+// same epoch + same seed ⇒ bit-identical walk output, at the base
+// epoch, after ingest (overlay view), and after compaction — for a
+// first-order biased walk and for node2vec's second-order machinery.
+func TestWalkDeterminismAcrossEpochLifecycle(t *testing.T) {
+	base := gen.WithUniformWeights(gen.UniformDegree(80, 6, 91), 1, 5, 92)
+	d, err := New(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := map[string]func() *core.Algorithm{
+		"deepwalk-biased": func() *core.Algorithm { return alg.DeepWalk(25, true) },
+		"node2vec": func() *core.Algorithm {
+			return alg.Node2Vec(alg.Node2VecParams{
+				P: 2, Q: 0.5, Length: 25, Biased: true, LowerBound: true, FoldOutlier: true,
+			})
+		},
+	}
+
+	epochs := map[string]*Epoch{"base": d.Epoch()}
+	batch := []Delta{
+		{Src: 3, Dst: 40, Weight: 9}, // new max at 3: widens the envelope
+		{Src: 40, Dst: 3, Weight: 9},
+		{Op: OpDelete, Src: 5, Dst: base.Neighbors(5)[0]},
+		{Src: 7, Dst: 8, Weight: 0.5},
+		{Src: 8, Dst: 7, Weight: 0.5},
+	}
+	ep, err := d.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs["after-ingest"] = ep
+	ep, err = d.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs["after-compaction"] = ep
+
+	for stage, ep := range epochs {
+		for name, mk := range programs {
+			a := runWalk(t, ep, mk(), 97)
+			b := runWalk(t, ep, mk(), 97)
+			if !samePaths(a.Paths, b.Paths) {
+				t.Fatalf("%s/%s: same epoch + same seed produced different walks", stage, name)
+			}
+			c := runWalk(t, ep, mk(), 98)
+			if samePaths(a.Paths, c.Paths) {
+				t.Fatalf("%s/%s: different seeds produced identical walks (vacuous pin)", stage, name)
+			}
+		}
+	}
+}
+
+// TestFirstOrderOverlayBitIdenticalToRebuilt: for first-order biased
+// walks the overlay epoch and the from-scratch rebuilt CSR have
+// identical sorted weights per vertex, hence identical sampler tables,
+// hence bit-identical walks under the same seed — whether the epoch's
+// prebuilt tables or local construction are used.
+func TestFirstOrderOverlayBitIdenticalToRebuilt(t *testing.T) {
+	base := gen.WithUniformWeights(gen.UniformDegree(60, 5, 101), 1, 5, 102)
+	d, err := New(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := d.Apply([]Delta{
+		{Src: 1, Dst: 30, Weight: 7}, {Src: 30, Dst: 1, Weight: 7},
+		{Op: OpDelete, Src: 2, Dst: base.Neighbors(2)[1]},
+		{Src: 2, Dst: 31, Weight: 2.5}, {Src: 31, Dst: 2, Weight: 2.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := ep.View().Compacted()
+
+	mk := func() *core.Algorithm { return alg.DeepWalk(30, true) }
+	overlayRes := runWalk(t, ep, mk(), 103)
+	plain, err := core.Run(core.Config{
+		Graph: rebuilt, Algorithm: mk(), NumWalkers: 300, NumNodes: 2,
+		Seed: 103, RecordPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePaths(overlayRes.Paths, plain.Paths) {
+		t.Fatal("first-order walks on the overlay epoch diverge from the rebuilt-from-scratch CSR")
+	}
+}
+
+// TestAllAlgorithmsRunOnEpochs: every production algorithm — DeepWalk,
+// node2vec, meta-path, PPR — completes against an overlay epoch
+// snapshot and behaves deterministically on it.
+func TestAllAlgorithmsRunOnEpochs(t *testing.T) {
+	base := gen.WithTypes(gen.WithUniformWeights(gen.UniformDegree(60, 6, 107), 1, 5, 108), 3, 109)
+	d, err := New(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := d.Apply([]Delta{
+		{Src: 0, Dst: 30, Weight: 3, Type: 1}, {Src: 30, Dst: 0, Weight: 3, Type: 1},
+		{Op: OpDelete, Src: 4, Dst: base.Neighbors(4)[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep.View().Overlaid() {
+		t.Fatal("expected an overlay epoch")
+	}
+	programs := map[string]func() *core.Algorithm{
+		"deepwalk": func() *core.Algorithm { return alg.DeepWalk(20, true) },
+		"node2vec": func() *core.Algorithm {
+			return alg.Node2Vec(alg.Node2VecParams{P: 4, Q: 0.25, Length: 20, Biased: true})
+		},
+		"metapath": func() *core.Algorithm {
+			return alg.MetaPath([][]int32{{0, 1, 2}}, 20, true)
+		},
+		"ppr": func() *core.Algorithm { return alg.PPR(0.1, true, 200) },
+	}
+	for name, mk := range programs {
+		a := runWalk(t, ep, mk(), 111)
+		b := runWalk(t, ep, mk(), 111)
+		if !samePaths(a.Paths, b.Paths) {
+			t.Fatalf("%s: nondeterministic on an epoch snapshot", name)
+		}
+		if len(a.Paths) == 0 {
+			t.Fatalf("%s: no walks recorded", name)
+		}
+	}
+}

@@ -62,5 +62,49 @@ func Fingerprint(g *Graph) uint64 {
 	} else {
 		mix(0)
 	}
+	// Overlay section, appended only when present: a delta-free graph keeps
+	// the exact hash it had before overlays existed, so registry identities
+	// recorded by older builds stay valid. The section covers every overlay
+	// array, so two epochs differ whenever any replaced adjacency, weight,
+	// type, or maintained bound differs.
+	if g.over != nil {
+		o := g.over
+		mix(1)
+		mix(uint64(len(o.verts)))
+		for _, v := range o.verts {
+			mix(uint64(v))
+		}
+		for _, off := range o.offs {
+			mix(uint64(off))
+		}
+		mix(uint64(len(o.dst)))
+		for _, d := range o.dst {
+			mix(uint64(d))
+		}
+		if o.weight == nil {
+			mix(0)
+		} else {
+			mix(1)
+			for _, w := range o.weight {
+				mix(uint64(math.Float32bits(w)))
+			}
+		}
+		if o.etype == nil {
+			mix(0)
+		} else {
+			mix(1)
+			for _, t := range o.etype {
+				mix(uint64(uint32(t)))
+			}
+		}
+		if o.maxW == nil {
+			mix(0)
+		} else {
+			mix(1)
+			for _, m := range o.maxW {
+				mix(math.Float64bits(m))
+			}
+		}
+	}
 	return h
 }

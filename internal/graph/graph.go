@@ -35,6 +35,12 @@ type Graph struct {
 	// [ownedLo, ownedHi); see Subgraph and ReadBinarySlice.
 	partial          bool
 	ownedLo, ownedHi VertexID
+
+	// over, when non-nil, layers per-vertex replacement adjacency over the
+	// base arrays (a dynamic-graph epoch view; see overlay.go). Accessors
+	// resolve overlay vertices to their segment and everything else to the
+	// base arrays. Mutually exclusive with partial.
+	over *overlayData
 }
 
 // NumVertices returns |V|.
@@ -42,7 +48,13 @@ func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
 
 // NumEdges returns the number of stored directed edges (an undirected input
 // edge counts twice).
-func (g *Graph) NumEdges() int64 { return g.offsets[len(g.offsets)-1] }
+func (g *Graph) NumEdges() int64 {
+	ne := g.offsets[len(g.offsets)-1]
+	if g.over != nil {
+		ne += g.over.edgeDelta
+	}
+	return ne
+}
 
 // Weighted reports whether the graph carries edge weights.
 func (g *Graph) Weighted() bool { return g.weight != nil }
@@ -53,6 +65,11 @@ func (g *Graph) Typed() bool { return g.etype != nil }
 // Degree returns the out-degree of v.
 func (g *Graph) Degree(v VertexID) int {
 	g.checkOwned(v)
+	if g.over != nil {
+		if i := g.over.find(v); i >= 0 {
+			return int(g.over.offs[i+1] - g.over.offs[i])
+		}
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -61,6 +78,11 @@ func (g *Graph) Degree(v VertexID) int {
 // modified.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
 	g.checkOwned(v)
+	if g.over != nil {
+		if i := g.over.find(v); i >= 0 {
+			return g.over.dst[g.over.offs[i]:g.over.offs[i+1]]
+		}
+	}
 	return g.dst[g.offsets[v]:g.offsets[v+1]]
 }
 
@@ -70,6 +92,11 @@ func (g *Graph) Weights(v VertexID) []float32 {
 	g.checkOwned(v)
 	if g.weight == nil {
 		return nil
+	}
+	if g.over != nil {
+		if i := g.over.find(v); i >= 0 {
+			return g.over.weight[g.over.offs[i]:g.over.offs[i+1]]
+		}
 	}
 	return g.weight[g.offsets[v]:g.offsets[v+1]]
 }
@@ -81,6 +108,11 @@ func (g *Graph) Types(v VertexID) []int32 {
 	if g.etype == nil {
 		return nil
 	}
+	if g.over != nil {
+		if i := g.over.find(v); i >= 0 {
+			return g.over.etype[g.over.offs[i]:g.over.offs[i+1]]
+		}
+	}
 	return g.etype[g.offsets[v]:g.offsets[v+1]]
 }
 
@@ -88,6 +120,19 @@ func (g *Graph) Types(v VertexID) []int32 {
 // untyped graphs report type 0.
 func (g *Graph) EdgeAt(v VertexID, i int) Edge {
 	g.checkOwned(v)
+	if g.over != nil {
+		if oi := g.over.find(v); oi >= 0 {
+			idx := g.over.offs[oi] + int64(i)
+			e := Edge{Dst: g.over.dst[idx], Weight: 1}
+			if g.over.weight != nil {
+				e.Weight = g.over.weight[idx]
+			}
+			if g.over.etype != nil {
+				e.Type = g.over.etype[idx]
+			}
+			return e
+		}
+	}
 	idx := g.offsets[v] + int64(i)
 	e := Edge{Dst: g.dst[idx], Weight: 1}
 	if g.weight != nil {
@@ -104,6 +149,11 @@ func (g *Graph) EdgeWeight(v VertexID, i int) float32 {
 	g.checkOwned(v)
 	if g.weight == nil {
 		return 1
+	}
+	if g.over != nil {
+		if oi := g.over.find(v); oi >= 0 {
+			return g.over.weight[g.over.offs[oi]+int64(i)]
+		}
 	}
 	return g.weight[g.offsets[v]+int64(i)]
 }
@@ -131,13 +181,22 @@ func (g *Graph) TotalWeight(v VertexID) float64 {
 }
 
 // MaxWeight returns the maximum edge weight at v (1 if unweighted, 0 if v
-// has no out-edges).
+// has no out-edges). For an overlay vertex of a weighted epoch view it
+// returns the epoch's maintained bound instead of scanning: never less
+// than the true maximum, but possibly loose after deletions until the
+// next compaction. Envelope consumers (rejection Q(v), outlier widths)
+// stay exact under a loose bound — it only costs extra trials.
 func (g *Graph) MaxWeight(v VertexID) float64 {
 	if g.Degree(v) == 0 {
 		return 0
 	}
 	if g.weight == nil {
 		return 1
+	}
+	if g.over != nil {
+		if i := g.over.find(v); i >= 0 {
+			return g.over.maxW[i]
+		}
 	}
 	m := float32(0)
 	for _, w := range g.Weights(v) {
@@ -222,8 +281,10 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	if !g.partial && int64(len(g.dst)) != g.NumEdges() {
-		return fmt.Errorf("graph: dst length %d != edge count %d", len(g.dst), g.NumEdges())
+	// The base dst array must match the base offsets; an overlay adjusts
+	// NumEdges by its delta, so compare against the raw offsets end.
+	if !g.partial && int64(len(g.dst)) != g.offsets[n] {
+		return fmt.Errorf("graph: dst length %d != edge count %d", len(g.dst), g.offsets[n])
 	}
 	if g.weight != nil && len(g.weight) != len(g.dst) {
 		return fmt.Errorf("graph: weight length %d != dst length %d", len(g.weight), len(g.dst))

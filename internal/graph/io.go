@@ -145,6 +145,11 @@ const (
 
 // WriteBinary serializes g in the binary CSR format.
 func WriteBinary(w io.Writer, g *Graph) error {
+	if g.Overlaid() {
+		// The serializer writes the raw base arrays; an overlay view would
+		// silently lose its deltas. Callers must materialize first.
+		return fmt.Errorf("graph: cannot serialize an overlay view; call Compacted() first")
+	}
 	bw := bufio.NewWriter(w)
 	var flags uint32
 	if g.Weighted() {

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// overlayFixture builds a small weighted+typed base graph and an overlay
+// replacing the adjacency of vertices 1 and 3:
+//
+//	base:  0->{1,2}  1->{0}  2->{1,3}  3->{}  4->{0}
+//	over:  1->{2,3,4}  3->{0}
+func overlayFixture(t *testing.T) (base, over *Graph) {
+	t.Helper()
+	b := NewBuilder(5)
+	b.AddTypedEdge(0, 1, 1.0, 0)
+	b.AddTypedEdge(0, 2, 2.0, 1)
+	b.AddTypedEdge(1, 0, 3.0, 0)
+	b.AddTypedEdge(2, 1, 0.5, 2)
+	b.AddTypedEdge(2, 3, 1.5, 0)
+	b.AddTypedEdge(4, 0, 4.0, 1)
+	base = b.Build()
+
+	verts := []VertexID{1, 3}
+	offs := []int64{0, 3, 4}
+	dst := []VertexID{2, 3, 4, 0}
+	weight := []float32{1.0, 2.5, 0.5, 9.0}
+	etype := []int32{0, 1, 2, 0}
+	maxW := []float64{2.5, 9.0}
+	g, err := NewOverlay(base, verts, offs, dst, weight, etype, maxW)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	return base, g
+}
+
+// rebuildFixture builds from scratch the graph the overlay fixture should
+// be walk-indistinguishable from.
+func rebuildFixture() *Graph {
+	b := NewBuilder(5)
+	b.AddTypedEdge(0, 1, 1.0, 0)
+	b.AddTypedEdge(0, 2, 2.0, 1)
+	b.AddTypedEdge(1, 2, 1.0, 0)
+	b.AddTypedEdge(1, 3, 2.5, 1)
+	b.AddTypedEdge(1, 4, 0.5, 2)
+	b.AddTypedEdge(2, 1, 0.5, 2)
+	b.AddTypedEdge(2, 3, 1.5, 0)
+	b.AddTypedEdge(3, 0, 9.0, 0)
+	b.AddTypedEdge(4, 0, 4.0, 1)
+	return b.Build()
+}
+
+func TestOverlayAccessorsMatchRebuilt(t *testing.T) {
+	_, over := overlayFixture(t)
+	want := rebuildFixture()
+
+	if over.NumVertices() != want.NumVertices() {
+		t.Fatalf("NumVertices = %d, want %d", over.NumVertices(), want.NumVertices())
+	}
+	if over.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", over.NumEdges(), want.NumEdges())
+	}
+	if !over.Overlaid() {
+		t.Fatal("Overlaid() = false on an overlay view")
+	}
+	nv, delta := over.OverlayStats()
+	if nv != 2 || delta != 3 {
+		t.Fatalf("OverlayStats = (%d, %d), want (2, 3)", nv, delta)
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		id := VertexID(v)
+		if over.Degree(id) != want.Degree(id) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, over.Degree(id), want.Degree(id))
+		}
+		gotN, wantN := over.Neighbors(id), want.Neighbors(id)
+		for i := range wantN {
+			if gotN[i] != wantN[i] {
+				t.Fatalf("Neighbors(%d)[%d] = %d, want %d", v, i, gotN[i], wantN[i])
+			}
+		}
+		gotW, wantW := over.Weights(id), want.Weights(id)
+		for i := range wantW {
+			if gotW[i] != wantW[i] {
+				t.Fatalf("Weights(%d)[%d] = %v, want %v", v, i, gotW[i], wantW[i])
+			}
+		}
+		gotT, wantT := over.Types(id), want.Types(id)
+		for i := range wantT {
+			if gotT[i] != wantT[i] {
+				t.Fatalf("Types(%d)[%d] = %d, want %d", v, i, gotT[i], wantT[i])
+			}
+		}
+		for i := 0; i < want.Degree(id); i++ {
+			if over.EdgeAt(id, i) != want.EdgeAt(id, i) {
+				t.Fatalf("EdgeAt(%d,%d) = %+v, want %+v", v, i, over.EdgeAt(id, i), want.EdgeAt(id, i))
+			}
+			if over.EdgeWeight(id, i) != want.EdgeWeight(id, i) {
+				t.Fatalf("EdgeWeight(%d,%d) differs", v, i)
+			}
+		}
+		if over.TotalWeight(id) != want.TotalWeight(id) {
+			t.Fatalf("TotalWeight(%d) = %v, want %v", v, over.TotalWeight(id), want.TotalWeight(id))
+		}
+		if over.MaxWeight(id) != want.MaxWeight(id) {
+			t.Fatalf("MaxWeight(%d) = %v, want %v", v, over.MaxWeight(id), want.MaxWeight(id))
+		}
+		for u := 0; u < want.NumVertices(); u++ {
+			if over.HasEdge(id, VertexID(u)) != want.HasEdge(id, VertexID(u)) {
+				t.Fatalf("HasEdge(%d,%d) differs", v, u)
+			}
+		}
+	}
+	if err := over.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestOverlayLooseMaxWeight(t *testing.T) {
+	base, _ := overlayFixture(t)
+	// A maintained bound above the true segment max is legal (post-delete
+	// looseness) and is what MaxWeight reports.
+	g, err := NewOverlay(base, []VertexID{1}, []int64{0, 1}, []VertexID{2},
+		[]float32{1.0}, []int32{0}, []float64{7.5})
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	if got := g.MaxWeight(1); got != 7.5 {
+		t.Fatalf("MaxWeight(1) = %v, want the maintained bound 7.5", got)
+	}
+	// A bound below the true max must be rejected at construction.
+	if _, err := NewOverlay(base, []VertexID{1}, []int64{0, 1}, []VertexID{2},
+		[]float32{3.0}, []int32{0}, []float64{2.0}); err == nil {
+		t.Fatal("NewOverlay accepted maxW below the true segment max")
+	}
+}
+
+func TestOverlayValidation(t *testing.T) {
+	base, _ := overlayFixture(t)
+	unw := NewBuilder(3)
+	unw.AddEdge(0, 1)
+	unweighted := unw.Build()
+
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+	}{
+		{"nil base", func() (*Graph, error) {
+			return NewOverlay(nil, nil, []int64{0}, nil, nil, nil, nil)
+		}},
+		{"offs length", func() (*Graph, error) {
+			return NewOverlay(base, []VertexID{1}, []int64{0}, nil, nil, nil, []float64{0})
+		}},
+		{"missing weights", func() (*Graph, error) {
+			return NewOverlay(base, []VertexID{1}, []int64{0, 1}, []VertexID{2}, nil, []int32{0}, []float64{1})
+		}},
+		{"weights on unweighted base", func() (*Graph, error) {
+			return NewOverlay(unweighted, []VertexID{0}, []int64{0, 1}, []VertexID{1}, []float32{1}, nil, nil)
+		}},
+		{"vertex out of range", func() (*Graph, error) {
+			return NewOverlay(base, []VertexID{9}, []int64{0, 0}, nil, []float32{}, []int32{}, []float64{0})
+		}},
+		{"not strictly increasing", func() (*Graph, error) {
+			return NewOverlay(base, []VertexID{3, 1}, []int64{0, 0, 0}, nil, []float32{}, []int32{}, []float64{0, 0})
+		}},
+		{"segment not sorted", func() (*Graph, error) {
+			return NewOverlay(base, []VertexID{1}, []int64{0, 2}, []VertexID{3, 2},
+				[]float32{1, 1}, []int32{0, 0}, []float64{1})
+		}},
+		{"dst out of range", func() (*Graph, error) {
+			return NewOverlay(base, []VertexID{1}, []int64{0, 1}, []VertexID{99},
+				[]float32{1}, []int32{0}, []float64{1})
+		}},
+		{"stacked overlay", func() (*Graph, error) {
+			_, over := overlayFixture(t)
+			return NewOverlay(over, []VertexID{1}, []int64{0, 0}, nil, []float32{}, []int32{}, []float64{0})
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build(); err == nil {
+			t.Errorf("%s: NewOverlay accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestOverlayCompactedEquivalence(t *testing.T) {
+	_, over := overlayFixture(t)
+	want := rebuildFixture()
+	got := over.Compacted()
+	if got.Overlaid() {
+		t.Fatal("Compacted() still overlaid")
+	}
+	if Fingerprint(got) != Fingerprint(want) {
+		t.Fatal("Compacted() fingerprint differs from the rebuilt-from-scratch graph")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Plain graphs compact to themselves, no copy.
+	if want.Compacted() != want {
+		t.Fatal("Compacted() of a plain graph should return it unchanged")
+	}
+}
+
+func TestOverlayFingerprint(t *testing.T) {
+	base, over := overlayFixture(t)
+	// The overlay section only appends when present: the base keeps the
+	// delta-free hash.
+	if Fingerprint(base) == Fingerprint(over) {
+		t.Fatal("overlay view fingerprints identically to its base")
+	}
+	// Distinct overlay contents hash distinctly.
+	g2, err := NewOverlay(base, []VertexID{1}, []int64{0, 1}, []VertexID{2},
+		[]float32{1.0}, []int32{0}, []float64{1.0})
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	if Fingerprint(g2) == Fingerprint(over) {
+		t.Fatal("different overlays fingerprint identically")
+	}
+	// Only the maintained bound differing must still change the hash (the
+	// bound feeds rejection envelopes, so it is walk-visible).
+	g3, err := NewOverlay(base, []VertexID{1}, []int64{0, 1}, []VertexID{2},
+		[]float32{1.0}, []int32{0}, []float64{5.0})
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	if Fingerprint(g3) == Fingerprint(g2) {
+		t.Fatal("maxW-only difference did not change the fingerprint")
+	}
+}
+
+func TestOverlaySerializationGuards(t *testing.T) {
+	_, over := overlayFixture(t)
+	if err := WriteBinary(&bytes.Buffer{}, over); err == nil {
+		t.Fatal("WriteBinary accepted an overlay view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subgraph accepted an overlay view")
+		}
+	}()
+	Subgraph(over, 0, 2)
+}

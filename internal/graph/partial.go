@@ -157,6 +157,10 @@ func Subgraph(g *Graph, lo, hi VertexID) *Graph {
 	if int(hi) > n || lo > hi {
 		panic(fmt.Sprintf("graph: Subgraph [%d,%d) outside |V|=%d", lo, hi, n))
 	}
+	if g.over != nil {
+		// Slicing the raw base arrays would drop the overlay deltas.
+		panic("graph: Subgraph over an overlay view; call Compacted() first")
+	}
 	edgeLo, edgeHi := g.offsets[lo], g.offsets[hi]
 	out := &Graph{
 		offsets: make([]int64, n+1),

@@ -52,6 +52,10 @@ var DefaultPackages = map[string]bool{
 	"knightking/internal/cluster":    true,
 	"knightking/internal/baseline":   true,
 	"knightking/internal/embed":      true,
+	// dyngraph publishes the epochs jobs are pinned to: iterating a map
+	// of delta segments (or timestamping an epoch) would leak
+	// nondeterminism into every walk on that epoch.
+	"knightking/internal/dyngraph": true,
 }
 
 // forbiddenImports are the ambient randomness sources. No waiver: a

@@ -35,3 +35,27 @@ func TestDetrand(t *testing.T) {
 		}
 	}
 }
+
+// TestDetrandDeltaLayer pins the delta-layer case behind adding
+// internal/dyngraph to the deterministic set: ranging over a map of
+// per-vertex delta segments is flagged (the flattened overlay would
+// inherit map iteration order), while the collect-then-sort publish
+// idiom passes without a waiver.
+func TestDetrandDeltaLayer(t *testing.T) {
+	a := NewAnalyzer(map[string]bool{"dyndemo": true})
+	results := analysistest.Run(t, "testdata", a, "dyndemo")
+	if results[0].Value != nil {
+		if ws := results[0].Value.([]lintutil.Waiver); len(ws) != 0 {
+			t.Errorf("dyndemo recorded %d waivers, want 0", len(ws))
+		}
+	}
+}
+
+// TestDyngraphInDefaultSet guards the wiring itself: the real delta
+// layer must be in the default deterministic set, so kklint runs cover
+// it without extra configuration.
+func TestDyngraphInDefaultSet(t *testing.T) {
+	if !DefaultPackages["knightking/internal/dyngraph"] {
+		t.Fatal("knightking/internal/dyngraph missing from detrand.DefaultPackages")
+	}
+}

@@ -1,0 +1,44 @@
+// Package dyndemo is a detrand fixture shaped like a delta-layer
+// package: per-vertex delta segments held in a map. It is configured as
+// a deterministic package, so ranging over the segment map — which
+// would make the flattened overlay's edge order depend on map iteration
+// order — must be flagged, while the collect-then-sort publish idiom
+// passes clean.
+package dyndemo
+
+import "sort"
+
+type edgeRec struct {
+	dst int
+	w   float32
+}
+
+type deltaLayer struct {
+	segs map[int][]edgeRec
+}
+
+// flattenUnsorted is the bug the analyzer exists to catch: the overlay
+// arrays come out in map order, so two applies of the same batch publish
+// differently-ordered epochs.
+func (d *deltaLayer) flattenUnsorted() []edgeRec {
+	var out []edgeRec
+	for _, seg := range d.segs { // want "map iteration order is nondeterministic"
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// flattenSorted is the sanctioned publish path: collect the touched
+// vertices, sort, then emit segments in vertex order.
+func (d *deltaLayer) flattenSorted() []edgeRec {
+	var verts []int
+	for v := range d.segs {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	var out []edgeRec
+	for _, v := range verts {
+		out = append(out, d.segs[v]...)
+	}
+	return out
+}

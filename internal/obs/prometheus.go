@@ -92,6 +92,36 @@ func WriteGauge(w io.Writer, name, help string, v int64) error {
 	return writeFamily(w, name, help, "gauge", v)
 }
 
+// WriteHistogram renders one ad-hoc histogram snapshot, for callers
+// composing a /metrics page from histograms that live outside a Registry
+// (e.g. the walk service's ingest timings).
+func WriteHistogram(w io.Writer, s HistogramSnapshot) error {
+	return writeHistogram(w, s)
+}
+
+// LabeledValue is one sample of a labeled gauge family.
+type LabeledValue struct {
+	Label string
+	Value int64
+}
+
+// WriteLabeledGauge renders a kk_-prefixed gauge family with one sample
+// per label value (e.g. kk_serve_graph_epoch{graph="web"} 3). Samples are
+// rendered in the given order; callers sort for a deterministic page.
+func WriteLabeledGauge(w io.Writer, name, help, label string, samples []LabeledValue) error {
+	if _, err := fmt.Fprintf(w, "# HELP %[1]s%[2]s %[3]s\n# TYPE %[1]s%[2]s gauge\n",
+		metricPrefix, name, help); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s%s{%s=%q} %d\n",
+			metricPrefix, name, label, s.Label, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func writeFamily(w io.Writer, name, help, kind string, v int64) error {
 	_, err := fmt.Fprintf(w, "# HELP %[1]s%[2]s %[3]s\n# TYPE %[1]s%[2]s %[4]s\n%[1]s%[2]s %[5]d\n",
 		metricPrefix, name, help, kind, v)

@@ -1,0 +1,105 @@
+package sampling
+
+// Envelope maintains the rejection-sampling bounds of one vertex under
+// edge ingest: Q(v) (upper) and L(v) (lower) over the per-edge static
+// weights. KnightKing's rejection sampler stays *exact* under any bounds
+// that truly bracket the weights — looser bounds only cost extra trials —
+// which is the property dynamic graphs exploit (the Bingo factorization
+// insight from PAPERS.md): an insert widens the bounds in O(1), a delete
+// leaves them untouched (still valid, possibly loose), and compaction
+// tightens them back to exact with one O(degree) scan. No ingest ever
+// needs a full envelope rebuild.
+//
+// The zero value is the envelope of an empty vertex (no edges; Upper and
+// Lower both 0). Weights must be positive and finite.
+type Envelope struct {
+	upper float64
+	lower float64
+	loose bool // true when a delete may have left the bounds non-tight
+	n     int  // live edge count, to reset cleanly when it reaches 0
+}
+
+// NewEnvelope returns an envelope with the given exact bounds over n
+// edges (as produced by a from-scratch scan).
+func NewEnvelope(upper, lower float64, n int) Envelope {
+	if n == 0 {
+		return Envelope{}
+	}
+	return Envelope{upper: upper, lower: lower, n: n}
+}
+
+// ExactEnvelope scans weights and returns the tight envelope.
+func ExactEnvelope(weights []float32) Envelope {
+	if len(weights) == 0 {
+		return Envelope{}
+	}
+	up, lo := float64(weights[0]), float64(weights[0])
+	for _, w := range weights[1:] {
+		if float64(w) > up {
+			up = float64(w)
+		}
+		if float64(w) < lo {
+			lo = float64(w)
+		}
+	}
+	return Envelope{upper: up, lower: lo, n: len(weights)}
+}
+
+// Insert widens the envelope for a new edge of weight w: O(1), and the
+// bounds stay exact if they were exact before.
+func (e *Envelope) Insert(w float64) {
+	if e.n == 0 {
+		e.upper, e.lower, e.loose = w, w, false
+		e.n = 1
+		return
+	}
+	if w > e.upper {
+		e.upper = w
+	}
+	if w < e.lower {
+		e.lower = w
+	}
+	e.n++
+}
+
+// Delete accounts for removing an edge of weight w. The bounds are left
+// unchanged — still valid upper/lower bounds over the surviving weights —
+// but marked loose when w sat on a boundary, since the true extremum may
+// have moved inward. Tightening waits for compaction.
+func (e *Envelope) Delete(w float64) {
+	e.n--
+	if e.n <= 0 {
+		*e = Envelope{}
+		return
+	}
+	if w >= e.upper || w <= e.lower {
+		e.loose = true
+	}
+}
+
+// Update re-weights an existing edge from old to new: a delete of the old
+// weight followed by an insert of the new one.
+func (e *Envelope) Update(old, new float64) {
+	e.Delete(old)
+	e.Insert(new)
+}
+
+// Tighten recomputes the exact bounds from the vertex's current weights
+// (the compaction step), clearing the loose flag.
+func (e *Envelope) Tighten(weights []float32) {
+	*e = ExactEnvelope(weights)
+}
+
+// Upper returns Q(v), the maintained upper bound. Never below the true
+// maximum weight.
+func (e *Envelope) Upper() float64 { return e.upper }
+
+// Lower returns L(v), the maintained lower bound. Never above the true
+// minimum weight.
+func (e *Envelope) Lower() float64 { return e.lower }
+
+// Loose reports whether a delete may have left the bounds non-tight.
+func (e *Envelope) Loose() bool { return e.loose }
+
+// N returns the tracked live edge count.
+func (e *Envelope) N() int { return e.n }

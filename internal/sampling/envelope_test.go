@@ -1,0 +1,101 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnvelopeExact(t *testing.T) {
+	e := ExactEnvelope([]float32{2, 5, 1, 3})
+	if e.Upper() != 5 || e.Lower() != 1 || e.N() != 4 || e.Loose() {
+		t.Fatalf("ExactEnvelope = %+v, want upper 5 lower 1 n 4 tight", e)
+	}
+	if z := ExactEnvelope(nil); z.Upper() != 0 || z.Lower() != 0 || z.N() != 0 {
+		t.Fatalf("empty envelope = %+v, want zero", z)
+	}
+}
+
+func TestEnvelopeInsertStaysExact(t *testing.T) {
+	var e Envelope
+	e.Insert(3)
+	e.Insert(7)
+	e.Insert(1)
+	if e.Upper() != 7 || e.Lower() != 1 || e.N() != 3 || e.Loose() {
+		t.Fatalf("after inserts: %+v", e)
+	}
+}
+
+func TestEnvelopeDeleteLoosens(t *testing.T) {
+	e := ExactEnvelope([]float32{1, 4, 9})
+	// Interior delete: bounds untouched and still tight.
+	e.Delete(4)
+	if e.Loose() || e.Upper() != 9 || e.Lower() != 1 || e.N() != 2 {
+		t.Fatalf("interior delete: %+v", e)
+	}
+	// Boundary delete: bounds untouched (still valid) but marked loose.
+	e.Delete(9)
+	if !e.Loose() {
+		t.Fatal("boundary delete did not mark the envelope loose")
+	}
+	if e.Upper() != 9 || e.Lower() != 1 {
+		t.Fatalf("boundary delete moved the bounds: %+v", e)
+	}
+	// Tighten restores exactness over the survivors.
+	e.Tighten([]float32{1})
+	if e.Loose() || e.Upper() != 1 || e.Lower() != 1 || e.N() != 1 {
+		t.Fatalf("after Tighten: %+v", e)
+	}
+	// Deleting the last edge resets to the empty envelope.
+	e.Delete(1)
+	if e.N() != 0 || e.Upper() != 0 || e.Lower() != 0 || e.Loose() {
+		t.Fatalf("after last delete: %+v", e)
+	}
+	// Re-insert after empty starts exact again.
+	e.Insert(2)
+	if e.Upper() != 2 || e.Lower() != 2 || e.Loose() {
+		t.Fatalf("insert after empty: %+v", e)
+	}
+}
+
+func TestEnvelopeUpdate(t *testing.T) {
+	e := ExactEnvelope([]float32{2, 6})
+	e.Update(2, 10)
+	if e.Upper() != 10 || e.N() != 2 {
+		t.Fatalf("after Update: %+v", e)
+	}
+	if !e.Loose() {
+		// old weight 2 was the lower boundary, so the lower bound is loose
+		t.Fatal("boundary update did not mark loose")
+	}
+}
+
+// TestEnvelopeAlwaysBrackets is the exactness property the rejection
+// sampler relies on: under any random insert/delete interleaving, the
+// maintained bounds always bracket the live weights.
+func TestEnvelopeAlwaysBrackets(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var e Envelope
+	var live []float32
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			i := r.Intn(len(live))
+			e.Delete(float64(live[i]))
+			live = append(live[:i], live[i+1:]...)
+		} else {
+			w := float32(r.Float64()*9 + 1)
+			e.Insert(float64(w))
+			live = append(live, w)
+		}
+		if e.N() != len(live) {
+			t.Fatalf("step %d: N=%d, live=%d", step, e.N(), len(live))
+		}
+		for _, w := range live {
+			if float64(w) > e.Upper() {
+				t.Fatalf("step %d: weight %v above upper %v", step, w, e.Upper())
+			}
+			if float64(w) < e.Lower() {
+				t.Fatalf("step %d: weight %v below lower %v", step, w, e.Lower())
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"knightking/internal/dyngraph"
+	"knightking/internal/gen"
+)
+
+// weightedService mounts a service with one weighted registered graph.
+func weightedService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	g := gen.WithUniformWeights(gen.UniformDegree(300, 6, 21), 1, 5, 22)
+	if _, err := svc.Graphs.Register("w300", g); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func graphInfo(t *testing.T, base, name string) GraphInfo {
+	t.Helper()
+	var list struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if code := doJSON(t, http.MethodGet, base+"/graphs", nil, &list); code != http.StatusOK {
+		t.Fatalf("GET /graphs: status %d", code)
+	}
+	for _, gi := range list.Graphs {
+		if gi.Name == name {
+			return gi
+		}
+	}
+	t.Fatalf("graph %q not listed", name)
+	return GraphInfo{}
+}
+
+func TestIngestAndCompactEndpoints(t *testing.T) {
+	_, ts := testService(t, Config{})
+
+	info := graphInfo(t, ts.URL, "uni200")
+	if info.Epoch != 0 || info.EpochFingerprint != info.Fingerprint {
+		t.Fatalf("fresh graph not at epoch 0 with base fingerprint: %+v", info)
+	}
+
+	// A valid batch publishes epoch 1.
+	var ir ingestResponse
+	batch := ingestRequest{Edges: []dyngraph.Delta{
+		{Src: 0, Dst: 100},
+		{Src: 1, Dst: 101},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/uni200/edges", batch, &ir); code != http.StatusOK {
+		t.Fatalf("POST edges: status %d", code)
+	}
+	if ir.Applied != 2 || ir.Graph.Epoch != 1 {
+		t.Fatalf("ingest response wrong: %+v", ir)
+	}
+
+	// An invalid batch is rejected atomically: 400, epoch unchanged.
+	bad := ingestRequest{Edges: []dyngraph.Delta{{Src: 10_000, Dst: 0}}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/uni200/edges", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad batch: status %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/uni200/edges", ingestRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/nope/edges", batch, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph ingest: status %d, want 404", code)
+	}
+	if got := graphInfo(t, ts.URL, "uni200"); got.Epoch != 1 {
+		t.Fatalf("rejected batches moved the epoch: %+v", got)
+	}
+
+	// Compaction folds the overlay and publishes epoch 2 with no deltas.
+	var after GraphInfo
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/uni200/compact", nil, &after); code != http.StatusOK {
+		t.Fatalf("POST compact: status %d", code)
+	}
+	if after.Epoch != 2 || after.DeltaVertices != 0 || after.DeltaEdges != 0 {
+		t.Fatalf("post-compaction info wrong: %+v", after)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/nope/compact", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown graph compact: status %d, want 404", code)
+	}
+
+	// The new families show up on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	page := buf.String()
+	for _, want := range []string{
+		"kk_serve_ingest_batches_total 1",
+		"kk_serve_ingest_edges_total 2",
+		"kk_serve_ingest_rejected_total 1",
+		"kk_serve_compactions_total 1",
+		"kk_serve_pending_deltas 0",
+		`kk_serve_graph_epoch{graph="uni200"} 2`,
+		`kk_serve_graph_delta_edges{graph="uni200"} 0`,
+		"kk_serve_ingest_apply_us_count 1",
+		"kk_serve_compact_us_count 1",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestJobPinsAdmissionEpoch is the epoch-pinning contract end to end: a
+// job queued before an ingest runs against its admission epoch and
+// reproduces the pre-ingest result bit-for-bit, while a job submitted
+// after the ingest observes the new epoch.
+func TestJobPinsAdmissionEpoch(t *testing.T) {
+	_, ts := weightedService(t, Config{Workers: 1})
+	spec := JobSpec{Graph: "w300", Alg: "deepwalk", Biased: true, Length: 25, Seed: 77, Walkers: 200}
+
+	// Control: the spec's result on epoch 0, with nothing else in flight.
+	var ctrl JobStatus
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", spec, &ctrl); code != http.StatusAccepted {
+		t.Fatalf("POST control: status %d", code)
+	}
+	if st := awaitState(t, ts.URL, ctrl.ID, 30*time.Second); st.State != StateDone {
+		t.Fatalf("control ended %s (err %q)", st.State, st.Error)
+	}
+	var ctrlRes JobResult
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+ctrl.ID+"/result", nil, &ctrlRes); code != http.StatusOK {
+		t.Fatalf("GET control result: status %d", code)
+	}
+
+	// Occupy the single worker, queue the target behind it, then ingest.
+	blocker := JobSpec{Graph: "w300", Alg: "deepwalk", Length: 100000, Seed: 1, Walkers: 300}
+	var bst JobStatus
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", blocker, &bst); code != http.StatusAccepted {
+		t.Fatalf("POST blocker: status %d", code)
+	}
+	var target JobStatus
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", spec, &target); code != http.StatusAccepted {
+		t.Fatalf("POST target: status %d", code)
+	}
+	if target.Epoch != 0 {
+		t.Fatalf("target admitted on epoch %d, want 0", target.Epoch)
+	}
+
+	batch := ingestRequest{Edges: []dyngraph.Delta{
+		{Src: 5, Dst: 250, Weight: 9},
+		{Src: 6, Dst: 251, Weight: 9},
+		{Src: 7, Dst: 252, Weight: 9},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/w300/edges", batch, nil); code != http.StatusOK {
+		t.Fatalf("POST edges: status %d", code)
+	}
+
+	// A job submitted now pins the new epoch.
+	var post JobStatus
+	if code := doJSON(t, http.MethodPost, ts.URL+"/jobs", spec, &post); code != http.StatusAccepted {
+		t.Fatalf("POST post-ingest job: status %d", code)
+	}
+	if post.Epoch != 1 {
+		t.Fatalf("post-ingest job admitted on epoch %d, want 1", post.Epoch)
+	}
+	if post.EpochFingerprint == target.EpochFingerprint {
+		t.Fatal("distinct epochs report the same fingerprint")
+	}
+
+	// Release the worker; the target must reproduce the control exactly.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/jobs/"+bst.ID, nil, nil); code != http.StatusAccepted {
+		t.Fatalf("DELETE blocker: status %d", code)
+	}
+	final := awaitState(t, ts.URL, target.ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("target ended %s (err %q)", final.State, final.Error)
+	}
+	if final.Epoch != 0 {
+		t.Fatalf("target ran on epoch %d, want its admission epoch 0", final.Epoch)
+	}
+	var targetRes JobResult
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+target.ID+"/result", nil, &targetRes); code != http.StatusOK {
+		t.Fatalf("GET target result: status %d", code)
+	}
+	a, b := ctrlRes.Report, targetRes.Report
+	a.DurationSeconds, b.DurationSeconds = 0, 0
+	a.SetupSeconds, b.SetupSeconds = 0, 0
+	a.ExchangeSeconds, b.ExchangeSeconds = 0, 0
+	a.StepsPerSecond, b.StepsPerSecond = 0, 0
+	a.CheckpointSeconds, b.CheckpointSeconds = 0, 0
+	a.RestoreSeconds, b.RestoreSeconds = 0, 0
+	if a != b {
+		t.Fatalf("mid-queue ingest changed a pinned job's result:\n%+v\n%+v", a, b)
+	}
+	if ctrlRes.WalkLengths != targetRes.WalkLengths {
+		t.Fatalf("walk lengths diverged: %+v vs %+v", ctrlRes.WalkLengths, targetRes.WalkLengths)
+	}
+
+	// The post-ingest job runs on the bigger view: its report counts the
+	// ingested edges.
+	if st := awaitState(t, ts.URL, post.ID, 30*time.Second); st.State != StateDone {
+		t.Fatalf("post-ingest job ended %s (err %q)", st.State, st.Error)
+	}
+	var postRes JobResult
+	if code := doJSON(t, http.MethodGet, ts.URL+"/jobs/"+post.ID+"/result", nil, &postRes); code != http.StatusOK {
+		t.Fatalf("GET post-ingest result: status %d", code)
+	}
+	if want := ctrlRes.Report.Edges + 3; postRes.Report.Edges != want {
+		t.Fatalf("post-ingest report counts %d edges, want %d (pinned epoch view)", postRes.Report.Edges, want)
+	}
+}
+
+// TestAutoCompactionOverHTTP wires Config.CompactAfter through to the
+// delta layer: enough ingested deltas trigger a compaction without any
+// explicit POST /compact.
+func TestAutoCompactionOverHTTP(t *testing.T) {
+	_, ts := weightedService(t, Config{CompactAfter: 4})
+	batch := ingestRequest{Edges: []dyngraph.Delta{
+		{Src: 1, Dst: 200, Weight: 2},
+		{Src: 2, Dst: 201, Weight: 2},
+	}}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/w300/edges", batch, nil); code != http.StatusOK {
+		t.Fatalf("POST edges #1: status %d", code)
+	}
+	if got := graphInfo(t, ts.URL, "w300"); got.Epoch != 1 || got.DeltaEdges != 2 {
+		t.Fatalf("after 2 deltas: %+v, want overlay epoch 1", got)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/graphs/w300/edges", batch, nil); code != http.StatusOK {
+		t.Fatalf("POST edges #2: status %d", code)
+	}
+	// The second batch crossed the threshold: epoch 2 upserts, epoch 3
+	// auto-compacts (the second batch re-weights existing overlay edges,
+	// so the net delta stays 2 and then folds away).
+	got := graphInfo(t, ts.URL, "w300")
+	if got.Epoch != 3 || got.DeltaEdges != 0 || got.DeltaVertices != 0 {
+		t.Fatalf("auto-compaction did not run: %+v", got)
+	}
+}

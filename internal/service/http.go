@@ -8,7 +8,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
+	"knightking/internal/dyngraph"
 	"knightking/internal/graph"
 	"knightking/internal/obs"
 )
@@ -20,6 +22,8 @@ func (s *Service) handler() http.Handler {
 
 	mux.HandleFunc("GET /graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /graphs", s.handleLoadGraph)
+	mux.HandleFunc("POST /graphs/{name}/edges", s.handleIngestEdges)
+	mux.HandleFunc("POST /graphs/{name}/compact", s.handleCompactGraph)
 	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /jobs", s.handleListJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
@@ -105,6 +109,69 @@ func (s *Service) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// ingestRequest is the POST /graphs/{name}/edges payload: a batch of
+// edge deltas applied atomically — all land in one new epoch, or (on any
+// invalid delta) none do and the epoch is unchanged.
+type ingestRequest struct {
+	Edges []dyngraph.Delta `json:"edges"`
+}
+
+// ingestResponse reports the post-apply graph state alongside how many
+// deltas the batch carried.
+type ingestResponse struct {
+	Applied int       `json:"applied"`
+	Graph   GraphInfo `json:"graph"`
+}
+
+func (s *Service) handleIngestEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	dyn, ok := s.Graphs.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	var req ingestRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeError(w, http.StatusBadRequest, "edges must be a non-empty array of deltas")
+		return
+	}
+	m := s.sched.metrics
+	start := time.Now()
+	if _, err := dyn.Apply(req.Edges); err != nil {
+		m.ingestRejected.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m.ingestApplyUs.Observe(time.Since(start).Microseconds())
+	m.ingestBatches.Add(1)
+	m.ingestEdges.Add(int64(len(req.Edges)))
+	m.ingestBatchSize.Observe(int64(len(req.Edges)))
+	info, _ := s.Graphs.Info(name)
+	writeJSON(w, http.StatusOK, ingestResponse{Applied: len(req.Edges), Graph: info})
+}
+
+func (s *Service) handleCompactGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	dyn, ok := s.Graphs.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	m := s.sched.metrics
+	start := time.Now()
+	if _, err := dyn.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	m.compactUs.Observe(time.Since(start).Microseconds())
+	info, _ := s.Graphs.Info(name)
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +264,31 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteGauge(w, "serve_jobs_running", "Jobs currently executing.", int64(counts[StateRunning]))
 	obs.WriteGauge(w, "serve_graphs", "Graphs in the registry.", int64(s.Graphs.Len()))
 	obs.WriteGauge(w, "serve_workers", "Scheduler worker pool size.", int64(s.cfg.Workers))
+
+	batches, deltas, compactions, pending := s.Graphs.DeltaTotals()
+	obs.WriteCounter(w, "serve_ingest_batches_total", "Edge delta batches accepted over HTTP.", m.ingestBatches.Load())
+	obs.WriteCounter(w, "serve_ingest_edges_total", "Edge deltas accepted over HTTP.", m.ingestEdges.Load())
+	obs.WriteCounter(w, "serve_ingest_rejected_total", "Ingest batches rejected as invalid.", m.ingestRejected.Load())
+	obs.WriteCounter(w, "serve_apply_batches_total", "Delta batches applied across all graphs (any source).", batches)
+	obs.WriteCounter(w, "serve_apply_deltas_total", "Deltas applied across all graphs (any source).", deltas)
+	obs.WriteCounter(w, "serve_compactions_total", "Graph compactions, explicit and auto-triggered.", compactions)
+	obs.WriteGauge(w, "serve_pending_deltas", "Deltas in overlays awaiting compaction, summed over graphs.", pending)
+
+	// Per-graph epoch state, labeled by graph name (List is name-sorted,
+	// so the page is deterministic).
+	infos := s.Graphs.List()
+	epochs := make([]obs.LabeledValue, len(infos))
+	deltaEdges := make([]obs.LabeledValue, len(infos))
+	for i, gi := range infos {
+		epochs[i] = obs.LabeledValue{Label: gi.Name, Value: int64(gi.Epoch)}
+		deltaEdges[i] = obs.LabeledValue{Label: gi.Name, Value: gi.DeltaEdges}
+	}
+	obs.WriteLabeledGauge(w, "serve_graph_epoch", "Current published epoch per graph.", "graph", epochs)
+	obs.WriteLabeledGauge(w, "serve_graph_delta_edges", "Net overlay edge delta per graph.", "graph", deltaEdges)
+
+	obs.WriteHistogram(w, m.ingestBatchSize.Snapshot())
+	obs.WriteHistogram(w, m.ingestApplyUs.Snapshot())
+	obs.WriteHistogram(w, m.compactUs.Snapshot())
 	obs.WriteSnapshotMetrics(w, s.sched.EngineSnapshot())
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"knightking/internal/alg"
 	"knightking/internal/core"
+	"knightking/internal/dyngraph"
 	"knightking/internal/graph"
 	"knightking/internal/stats"
 )
@@ -205,6 +206,11 @@ type Job struct {
 	ID   string
 	Spec JobSpec // normalized at submission
 
+	// epoch is the graph epoch pinned at admission: the job validates,
+	// runs, and reports against this immutable snapshot for its whole
+	// life, no matter how many deltas land after it was submitted.
+	epoch *dyngraph.Epoch
+
 	// cancel is closed (once) to request a cooperative engine abort; it is
 	// wired into core.Config.Cancel.
 	cancel     chan struct{}
@@ -235,17 +241,21 @@ func (j *Job) requestCancel() {
 
 // JobStatus is the GET /jobs/{id} payload.
 type JobStatus struct {
-	ID            string    `json:"id"`
-	State         JobState  `json:"state"`
-	Graph         string    `json:"graph"`
-	Alg           string    `json:"alg"`
-	Seed          uint64    `json:"seed"`
-	Walkers       int       `json:"walkers"`
-	Error         string    `json:"error,omitempty"`
-	CheckpointDir string    `json:"checkpoint_dir,omitempty"`
-	SubmittedAt   time.Time `json:"submitted_at"`
-	StartedAt     time.Time `json:"started_at,omitzero"`
-	FinishedAt    time.Time `json:"finished_at,omitzero"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Graph string   `json:"graph"`
+	// Epoch and EpochFingerprint identify the graph snapshot the job was
+	// pinned to at admission.
+	Epoch            uint64    `json:"epoch"`
+	EpochFingerprint string    `json:"epoch_fingerprint"`
+	Alg              string    `json:"alg"`
+	Seed             uint64    `json:"seed"`
+	Walkers          int       `json:"walkers"`
+	Error            string    `json:"error,omitempty"`
+	CheckpointDir    string    `json:"checkpoint_dir,omitempty"`
+	SubmittedAt      time.Time `json:"submitted_at"`
+	StartedAt        time.Time `json:"started_at,omitzero"`
+	FinishedAt       time.Time `json:"finished_at,omitzero"`
 }
 
 // Status snapshots the job's public state.
@@ -253,17 +263,19 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:            j.ID,
-		State:         j.state,
-		Graph:         j.Spec.Graph,
-		Alg:           j.Spec.Alg,
-		Seed:          j.Spec.Seed,
-		Walkers:       j.Spec.Walkers,
-		Error:         j.errMsg,
-		CheckpointDir: j.ckptDir,
-		SubmittedAt:   j.submitted,
-		StartedAt:     j.started,
-		FinishedAt:    j.finished,
+		ID:               j.ID,
+		State:            j.state,
+		Graph:            j.Spec.Graph,
+		Epoch:            j.epoch.Seq(),
+		EpochFingerprint: fmt.Sprintf("%016x", j.epoch.Fingerprint()),
+		Alg:              j.Spec.Alg,
+		Seed:             j.Spec.Seed,
+		Walkers:          j.Spec.Walkers,
+		Error:            j.errMsg,
+		CheckpointDir:    j.ckptDir,
+		SubmittedAt:      j.submitted,
+		StartedAt:        j.started,
+		FinishedAt:       j.finished,
 	}
 }
 

@@ -6,47 +6,67 @@ import (
 	"strings"
 	"sync"
 
+	"knightking/internal/dyngraph"
 	"knightking/internal/graph"
 )
 
 // GraphInfo is the registry's public description of one named graph, as
-// returned by GET /graphs.
+// returned by GET /graphs. The epoch fields reflect the graph's current
+// published epoch at the time of the call; a job pins the epoch it was
+// admitted on, which may be older.
 type GraphInfo struct {
 	Name     string `json:"name"`
 	Vertices int    `json:"vertices"`
 	Edges    int64  `json:"edges"`
 	Weighted bool   `json:"weighted"`
 	Typed    bool   `json:"typed"`
-	// Fingerprint is graph.Fingerprint rendered as 16 hex digits — the
-	// content identity behind the name.
+	// Fingerprint is the registered base graph's content hash rendered as
+	// 16 hex digits — the identity behind the name, stable across ingest.
 	Fingerprint string `json:"fingerprint"`
+	// Epoch is the current published epoch sequence (0 = the loaded base).
+	Epoch uint64 `json:"epoch"`
+	// EpochFingerprint is the current epoch's content hash — equal to
+	// Fingerprint at epoch 0, and again whenever ingest+compaction lands
+	// back on the same content.
+	EpochFingerprint string `json:"epoch_fingerprint"`
+	// DeltaVertices/DeltaEdges describe the current epoch's overlay:
+	// vertices with replacement segments and the net edge count change
+	// versus the base CSR. Both zero right after a compaction.
+	DeltaVertices int   `json:"delta_vertices"`
+	DeltaEdges    int64 `json:"delta_edges"`
 }
 
-// GraphRegistry holds the service's named, load-once graphs. Entries are
-// immutable *graph.Graph values shared read-only by every job that names
-// them — the amortization that makes a long-running walk server worth
-// having: parse and index a graph once, run many workloads against it.
+// GraphRegistry holds the service's named graphs. Each entry is a
+// dyngraph.DynGraph: jobs read a pinned immutable epoch while POST
+// /graphs/{name}/edges appends deltas and publishes new epochs — the
+// load-once amortization now extends to live updates, since ingest
+// maintains sampler tables incrementally instead of forcing a reload.
 //
-// A name is bound to a graph's content, not to whoever registered first:
-// re-registering the same content under the same name is an idempotent
-// no-op (so a restart script can blindly re-register), while registering
-// different content under a taken name is rejected, because jobs refer to
-// graphs by name and silently swapping the content would change what a
-// (graph, seed, params) submission means.
+// A name is bound to the registered base graph's content, not to whoever
+// registered first: re-registering the same content under the same name
+// is an idempotent no-op (so a restart script can blindly re-register),
+// while registering different content under a taken name is rejected,
+// because jobs refer to graphs by name and silently swapping the content
+// would change what a (graph, seed, params) submission means. Ingested
+// deltas deliberately do not change this identity — they are recorded in
+// the epoch fingerprint and the delta-log chain instead.
 type GraphRegistry struct {
+	opt dyngraph.Options
+
 	mu      sync.RWMutex
 	entries map[string]*graphEntry
 }
 
 type graphEntry struct {
-	g    *graph.Graph
-	fp   uint64
-	info GraphInfo
+	name string
+	dyn  *dyngraph.DynGraph
+	fp   uint64 // registration-time base fingerprint
 }
 
-// NewGraphRegistry returns an empty registry.
-func NewGraphRegistry() *GraphRegistry {
-	return &GraphRegistry{entries: make(map[string]*graphEntry)}
+// NewGraphRegistry returns an empty registry; opt shapes every graph's
+// delta layer (sampler kind, auto-compaction threshold).
+func NewGraphRegistry(opt dyngraph.Options) *GraphRegistry {
+	return &GraphRegistry{opt: opt, entries: make(map[string]*graphEntry)}
 }
 
 // Register binds name to g. See the GraphRegistry doc for the identity
@@ -63,48 +83,95 @@ func (r *GraphRegistry) Register(name string, g *graph.Graph) (GraphInfo, error)
 	defer r.mu.Unlock()
 	if prev, ok := r.entries[name]; ok {
 		if prev.fp == fp {
-			return prev.info, nil // same content: idempotent
+			return prev.info(), nil // same content: idempotent
 		}
-		return GraphInfo{}, fmt.Errorf("service: graph name %q already bound to different content (registered %s, offered %016x)",
-			name, prev.info.Fingerprint, fp)
+		return GraphInfo{}, fmt.Errorf("service: graph name %q already bound to different content (registered %016x, offered %016x)",
+			name, prev.fp, fp)
 	}
-	e := &graphEntry{
-		g:  g,
-		fp: fp,
-		info: GraphInfo{
-			Name:        name,
-			Vertices:    g.NumVertices(),
-			Edges:       g.NumEdges(),
-			Weighted:    g.Weighted(),
-			Typed:       g.Typed(),
-			Fingerprint: fmt.Sprintf("%016x", fp),
-		},
+	dyn, err := dyngraph.New(g, r.opt)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("service: graph %q: %w", name, err)
 	}
+	e := &graphEntry{name: name, dyn: dyn, fp: fp}
 	r.entries[name] = e
-	return e.info, nil
+	return e.info(), nil
 }
 
-// Get returns the graph bound to name.
-func (r *GraphRegistry) Get(name string) (*graph.Graph, bool) {
+// info describes the entry at its current published epoch.
+func (e *graphEntry) info() GraphInfo {
+	ep := e.dyn.Epoch()
+	g := ep.View()
+	dv, de := ep.DeltaStats()
+	return GraphInfo{
+		Name:             e.name,
+		Vertices:         g.NumVertices(),
+		Edges:            g.NumEdges(),
+		Weighted:         g.Weighted(),
+		Typed:            g.Typed(),
+		Fingerprint:      fmt.Sprintf("%016x", e.fp),
+		Epoch:            ep.Seq(),
+		EpochFingerprint: fmt.Sprintf("%016x", ep.Fingerprint()),
+		DeltaVertices:    dv,
+		DeltaEdges:       de,
+	}
+}
+
+// Get returns the dynamic graph bound to name.
+func (r *GraphRegistry) Get(name string) (*dyngraph.DynGraph, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
 	if !ok {
 		return nil, false
 	}
-	return e.g, true
+	return e.dyn, true
+}
+
+// Info returns the current GraphInfo of a registered graph.
+func (r *GraphRegistry) Info(name string) (GraphInfo, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return e.info(), true
 }
 
 // List returns every registered graph's info, sorted by name.
 func (r *GraphRegistry) List() []GraphInfo {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]GraphInfo, 0, len(r.entries))
+	entries := make([]*graphEntry, 0, len(r.entries))
 	for _, e := range r.entries {
-		out = append(out, e.info)
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	out := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.info()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// DeltaTotals sums the per-graph delta-layer counters for /metrics:
+// applied batches and deltas since load, compactions (explicit and
+// auto-triggered), and deltas pending in overlays right now.
+func (r *GraphRegistry) DeltaTotals() (batches, deltas, compactions, pending int64) {
+	r.mu.RLock()
+	entries := make([]*graphEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		m := e.dyn.Metrics()
+		batches += m.AppliedBatches
+		deltas += m.AppliedDeltas
+		compactions += m.Compactions
+		pending += m.PendingDeltas
+	}
+	return batches, deltas, compactions, pending
 }
 
 // Len returns the number of registered graphs.

@@ -10,6 +10,7 @@ import (
 
 	"knightking/internal/checkpoint"
 	"knightking/internal/core"
+	"knightking/internal/obs"
 	"knightking/internal/stats"
 )
 
@@ -55,10 +56,29 @@ type serviceMetrics struct {
 	cancelled atomic.Int64
 	rejected  atomic.Int64
 
+	// Ingest/compaction counters and timings. The service layer is
+	// wall-clock-bearing (outside the determinism-linted set), so timing
+	// the mutating endpoints here keeps clocks out of internal/dyngraph.
+	ingestBatches  atomic.Int64
+	ingestEdges    atomic.Int64
+	ingestRejected atomic.Int64
+
+	ingestBatchSize *obs.Histogram
+	ingestApplyUs   *obs.Histogram
+	compactUs       *obs.Histogram
+
 	// engine accumulates the post-join counter snapshots of finished jobs —
 	// the service-lifetime totals behind the kk_*_total families.
 	engineMu sync.Mutex
 	engine   stats.Counters
+}
+
+func newServiceMetrics() *serviceMetrics {
+	return &serviceMetrics{
+		ingestBatchSize: obs.NewHistogram("serve_ingest_batch_edges", "Deltas per accepted ingest batch."),
+		ingestApplyUs:   obs.NewHistogram("serve_ingest_apply_us", "Microseconds per accepted ingest batch (apply + epoch publish)."),
+		compactUs:       obs.NewHistogram("serve_compact_us", "Microseconds per compaction."),
+	}
 }
 
 func newScheduler(graphs *GraphRegistry, workers, queueDepth int, checkpointRoot string) *scheduler {
@@ -67,7 +87,7 @@ func newScheduler(graphs *GraphRegistry, workers, queueDepth int, checkpointRoot
 		queue:          make(chan *Job, queueDepth),
 		checkpointRoot: checkpointRoot,
 		jobs:           make(map[string]*Job),
-		metrics:        &serviceMetrics{},
+		metrics:        newServiceMetrics(),
 		stop:           make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
@@ -79,13 +99,17 @@ func newScheduler(graphs *GraphRegistry, workers, queueDepth int, checkpointRoot
 
 // Submit validates spec, assigns an ID, and enqueues the job. The spec is
 // normalized in place before the job record is created, so the stored spec
-// shows the effective parameters.
+// shows the effective parameters. The graph's current epoch is pinned
+// here, at admission: normalization, the engine run, and the final report
+// all read that one immutable snapshot, so deltas ingested while the job
+// is queued or running cannot change its output.
 func (s *scheduler) Submit(spec JobSpec) (*Job, error) {
-	g, ok := s.graphs.Get(spec.Graph)
+	dyn, ok := s.graphs.Get(spec.Graph)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown graph %q", spec.Graph)
 	}
-	if err := spec.normalize(g); err != nil {
+	epoch := dyn.Epoch()
+	if err := spec.normalize(epoch.View()); err != nil {
 		return nil, fmt.Errorf("service: invalid job spec: %w", err)
 	}
 
@@ -94,6 +118,7 @@ func (s *scheduler) Submit(spec JobSpec) (*Job, error) {
 	j := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.nextID),
 		Spec:      spec,
+		epoch:     epoch,
 		cancel:    make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -273,12 +298,11 @@ func (s *scheduler) worker() {
 }
 
 // runJob executes one job through the engine and records the outcome.
+// The graph comes from the job's pinned epoch, never a registry re-lookup:
+// a job dequeued after ten ingest batches still walks the exact snapshot
+// it was admitted on.
 func (s *scheduler) runJob(j *Job) {
-	g, ok := s.graphs.Get(j.Spec.Graph)
-	if !ok { // unregistration does not exist, but stay defensive
-		s.finish(j, nil, fmt.Errorf("graph %q disappeared", j.Spec.Graph))
-		return
-	}
+	g := j.epoch.View()
 
 	j.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting
@@ -305,6 +329,10 @@ func (s *scheduler) runJob(j *Job) {
 		Seed:       j.Spec.Seed,
 		Counters:   counters,
 		Cancel:     j.cancel,
+		// The epoch's incrementally maintained static sampler tables; the
+		// engine uses them where they apply exactly and builds its own
+		// otherwise.
+		Samplers: j.epoch,
 	}
 	if s.checkpointRoot != "" && j.Spec.CheckpointEvery > 0 {
 		dir := filepath.Join(s.checkpointRoot, j.ID)
@@ -358,10 +386,9 @@ func (s *scheduler) finish(j *Job, res *core.Result, err error) {
 			Duration:    res.Duration,
 			Setup:       res.SetupDuration,
 		}
-		if g, ok := s.graphs.Get(j.Spec.Graph); ok {
-			info.Vertices = g.NumVertices()
-			info.Edges = g.NumEdges()
-		}
+		g := j.epoch.View()
+		info.Vertices = g.NumVertices()
+		info.Edges = g.NumEdges()
 		rep := stats.NewReport(res.Counters, info)
 		j.report = &rep
 		j.lengths = walkLengths{Mean: res.Lengths.Mean(), Max: res.Lengths.Max()}

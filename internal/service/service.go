@@ -1,10 +1,13 @@
 // Package service is the long-running walk job server: a registry of
-// named, load-once, immutable graphs shared read-only across jobs, a
-// bounded-worker scheduler with a FIFO admission queue, and an HTTP/JSON
-// control surface (cmd/kkserve). It turns the one-shot kkwalk flow —
-// load graph, run walk, print report, exit — into a daemon that
-// amortizes graph loading across many runs and supports cooperative
-// cancellation of in-flight engine runs via core.Config.Cancel.
+// named dynamic graphs (immutable published epochs over a live delta
+// layer, internal/dyngraph), a bounded-worker scheduler with a FIFO
+// admission queue, and an HTTP/JSON control surface (cmd/kkserve). It
+// turns the one-shot kkwalk flow — load graph, run walk, print report,
+// exit — into a daemon that amortizes graph loading across many runs,
+// accepts edge ingest (POST /graphs/{name}/edges) and compaction while
+// jobs run, pins each job to its admission epoch, and supports
+// cooperative cancellation of in-flight engine runs via
+// core.Config.Cancel.
 //
 // The service layer is wall-clock-bearing by design (job timestamps,
 // HTTP) and is deliberately outside the determinism-linted package set;
@@ -17,6 +20,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"knightking/internal/dyngraph"
 )
 
 // Config shapes a Service.
@@ -33,6 +38,13 @@ type Config struct {
 	// CheckpointRoot, when set, enables per-job checkpointing: a job with
 	// checkpoint_every > 0 snapshots under <CheckpointRoot>/<job-id>/.
 	CheckpointRoot string
+	// CompactAfter, when positive, auto-compacts a graph's delta overlay
+	// after that many ingested deltas accumulate (0 = explicit
+	// POST /graphs/{name}/compact only).
+	CompactAfter int
+	// SamplerKind selects the per-vertex static sampler maintained for
+	// weighted graphs across ingest: "alias" (default) or "its".
+	SamplerKind string
 }
 
 // Service owns the graph registry, the scheduler, and (after Start) the
@@ -56,7 +68,10 @@ func New(cfg Config) *Service {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	graphs := NewGraphRegistry()
+	graphs := NewGraphRegistry(dyngraph.Options{
+		SamplerKind:  cfg.SamplerKind,
+		CompactAfter: cfg.CompactAfter,
+	})
 	return &Service{
 		Graphs: graphs,
 		cfg:    cfg,

@@ -4,6 +4,9 @@
 # over HTTP, poll it to completion, fetch the JSON report, check that an
 # identical resubmission returns identical walk statistics, and cancel a
 # long-running job (it must reach `cancelled` in under 2 seconds).
+# Then exercises live ingest: edges posted mid-job must not change a
+# pinned job's result, a later job observes the new epoch, and explicit
+# compaction folds the overlay.
 # Used by CI; runnable locally with `scripts/serve-smoke.sh`.
 set -euo pipefail
 
@@ -108,10 +111,68 @@ if [ "$MS" -ge 2000 ]; then
     exit 1
 fi
 
-curl -sf "$BASE/metrics" | grep -q '^kk_serve_jobs_completed_total 2' \
+# Fetch the page once and grep the file: `curl | grep -q` under
+# pipefail dies of SIGPIPE when grep exits at the first match.
+curl -sf "$BASE/metrics" >"$DIR/metrics.txt"
+grep -q '^kk_serve_jobs_completed_total 2' "$DIR/metrics.txt" \
     || { echo "serve-smoke: /metrics completed count wrong" >&2; exit 1; }
-curl -sf "$BASE/metrics" | grep -q '^kk_serve_jobs_cancelled_total 1' \
+grep -q '^kk_serve_jobs_cancelled_total 1' "$DIR/metrics.txt" \
     || { echo "serve-smoke: /metrics cancelled count wrong" >&2; exit 1; }
+
+# Live ingest with epoch pinning: a job admitted before an ingest must
+# return the exact pre-ingest statistics, while a job submitted after it
+# observes the new epoch.
+PIN='{"graph":"pl2000","alg":"deepwalk","length":400,"seed":99,"walkers":2000}'
+IDA="$(submit "$PIN" | job_id)"
+await "$IDA" done
+curl -sf "$BASE/jobs/$IDA/result" >"$DIR/rA.json"
+
+# Submit the same spec (pinned to epoch 0 at admission), then ingest a
+# batch while it is queued or running.
+IDB="$(submit "$PIN" | job_id)"
+EDGES='{"edges":[{"src":0,"dst":1500},{"src":1,"dst":1501},{"src":2,"dst":1502},{"src":3,"dst":1503},{"src":4,"dst":1504}]}'
+curl -sf -X POST "$BASE/graphs/pl2000/edges" -d "$EDGES" >"$DIR/ingest.json"
+grep -q '"epoch": 1' "$DIR/ingest.json" \
+    || { echo "serve-smoke: ingest did not publish epoch 1" >&2; cat "$DIR/ingest.json" >&2; exit 1; }
+await "$IDB" done
+curl -sf "$BASE/jobs/$IDB/result" >"$DIR/rB.json"
+if [ "$(strip "$DIR/rA.json")" != "$(strip "$DIR/rB.json")" ]; then
+    echo "serve-smoke: mid-job ingest changed a pinned job's result" >&2
+    diff <(strip "$DIR/rA.json") <(strip "$DIR/rB.json") >&2 || true
+    exit 1
+fi
+curl -sf "$BASE/jobs/$IDB" | grep -q '"epoch": 0' \
+    || { echo "serve-smoke: pinned job does not report admission epoch 0" >&2; exit 1; }
+
+# A job submitted after the ingest pins epoch 1 and walks the bigger
+# view: its report's edge count grows by exactly the net overlay delta.
+DELTA="$(curl -sf "$BASE/graphs" | python3 -c 'import json,sys
+print([g for g in json.load(sys.stdin)["graphs"] if g["name"]=="pl2000"][0]["delta_edges"])')"
+IDC="$(submit "$PIN" | job_id)"
+curl -sf "$BASE/jobs/$IDC" | grep -q '"epoch": 1' \
+    || { echo "serve-smoke: post-ingest job not pinned to epoch 1" >&2; exit 1; }
+await "$IDC" done
+curl -sf "$BASE/jobs/$IDC/result" >"$DIR/rC.json"
+python3 -c '
+import json, sys
+a = json.load(open(sys.argv[1]))["report"]["edges"]
+c = json.load(open(sys.argv[2]))["report"]["edges"]
+delta = int(sys.argv[3])
+assert c == a + delta, f"post-ingest job saw {c} edges, want {a} + {delta}"
+' "$DIR/rA.json" "$DIR/rC.json" "$DELTA"
+
+# Explicit compaction folds the overlay into a fresh CSR (epoch 2).
+curl -sf -X POST "$BASE/graphs/pl2000/compact" >"$DIR/compact.json"
+grep -q '"epoch": 2' "$DIR/compact.json" \
+    || { echo "serve-smoke: compaction did not publish epoch 2" >&2; cat "$DIR/compact.json" >&2; exit 1; }
+grep -q '"delta_edges": 0' "$DIR/compact.json" \
+    || { echo "serve-smoke: compaction left overlay deltas behind" >&2; exit 1; }
+
+curl -sf "$BASE/metrics" >"$DIR/metrics2.txt"
+grep -q '^kk_serve_ingest_batches_total 1' "$DIR/metrics2.txt" \
+    || { echo "serve-smoke: /metrics ingest batch count wrong" >&2; exit 1; }
+grep -q '^kk_serve_compactions_total 1' "$DIR/metrics2.txt" \
+    || { echo "serve-smoke: /metrics compaction count wrong" >&2; exit 1; }
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
