@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test race bench bench-record fuzz smoke experiments examples clean
+.PHONY: all build vet lint test race bench bench-record bench-trend fuzz smoke experiments examples clean
 
 all: build vet lint test
 
@@ -36,6 +36,13 @@ bench-record:
 	go test -run=NONE -bench 'BenchmarkEngineDeepWalk4Nodes|BenchmarkEngineNode2Vec4Nodes' -benchmem ./internal/core/
 	go test -run=NONE -bench 'BenchmarkIngest|BenchmarkSamplerUpdate|BenchmarkCompact' -benchmem ./internal/dyngraph/
 	go run ./cmd/kkbench -report
+
+# The benchmark set the CI trend job tracks continuously (engine steps/sec
+# and allocs/op, interleaved and scalar): output feeds
+# benchmark-action/github-action-benchmark, which graphs the history on
+# gh-pages (dev/bench) and fails the build on a >10% ns/op regression.
+bench-trend:
+	go test -run=NONE -bench 'BenchmarkEngineDeepWalk4Nodes|BenchmarkEngineNode2Vec4Nodes' -benchmem -count=3 ./internal/core/ | tee bench-trend.txt
 
 # Short fuzz pass over every fuzz target.
 fuzz:

@@ -1,0 +1,217 @@
+package core
+
+// Runtime sampler adaptation: the engine measures per-vertex rejection
+// work (sampling.TrialCell) on the hot path and, at superstep barriers,
+// switches hot vertices between sampling structures under
+// sampling.AdaptivePolicy — rejection → exact scan when the envelope is
+// loose, and alias ↔ ITS for the static proposal structure by degree.
+//
+// Determinism: decisions run only at barriers (workers quiesced), read
+// only scheduling-independent counter sums and the deterministic Force
+// hook, and rebuild structures as pure functions of (graph, vertex). An
+// adapted run is therefore reproducible from its seed and config, and —
+// because the decide/apply split keeps every RNG draw in decideStep —
+// scalar and interleaved stepping stay bit-identical under adaptation.
+// Adapted runs do diverge from non-adapted ones: a switched structure
+// consumes a walker's stream differently (that is the point).
+
+import (
+	"fmt"
+
+	"knightking/internal/graph"
+	"knightking/internal/sampling"
+)
+
+// AdaptConfig configures runtime sampler adaptation (Config.Adapt).
+type AdaptConfig struct {
+	// Every is the decision period in supersteps (default 8): each rank
+	// re-evaluates its owned vertices' modes at barriers whose superstep
+	// index is a multiple of it.
+	Every int
+	// Policy supplies the switch thresholds; zero fields take the defaults
+	// documented on sampling.AdaptivePolicy.
+	Policy sampling.AdaptivePolicy
+	// Force, when non-nil, replaces the policy at each decision barrier:
+	// it returns the mode vertex v must use from superstep iteration on,
+	// or ok=false to leave v untouched. It must be a pure function of its
+	// arguments (every rank and every run must see identical schedules).
+	// Modes inapplicable to the algorithm (e.g. ModeExact for a walk whose
+	// Pd needs remote state) are ignored. Intended for tests that pin
+	// switch schedules.
+	Force func(iteration int, v graph.VertexID) (mode sampling.Mode, ok bool)
+	// OnSwitch, when non-nil, is called at the barrier for every applied
+	// mode change. Intended for telemetry and tests; it must not mutate
+	// engine state.
+	OnSwitch func(rank, iteration int, v graph.VertexID, from, to sampling.Mode)
+}
+
+func (a *AdaptConfig) normalize() {
+	if a.Every <= 0 {
+		a.Every = 8
+	}
+	a.Policy = a.Policy.WithDefaults()
+}
+
+// adaptState is one node's adaptation state over its owned vertices.
+type adaptState struct {
+	cfg    *AdaptConfig
+	every  int
+	policy sampling.AdaptivePolicy
+
+	// staticSwitch: the static proposal structure may be swapped alias↔ITS
+	// (false for uniform walks — there is nothing to rebuild).
+	staticSwitch bool
+	// exactSwitch: rejection may be replaced by the exact O(degree) scan
+	// (dynamic walks whose Pd is locally computable).
+	exactSwitch bool
+
+	// Per owned vertex (index v-lo): current mode, measurement cell, and
+	// the base sampler built at setup (the rebuild source for structure
+	// switches, kept so repeated switches do not degrade precision).
+	modes []sampling.Mode
+	cells []sampling.TrialCell
+	orig  []sampling.StaticSampler
+}
+
+// initAdapt builds the node's adaptation state from Config.Adapt. When no
+// switch class applies to the algorithm (uniform static first-order walks)
+// adaptation is a no-op and stays disabled.
+func (n *node) initAdapt() {
+	c := n.cfg.Adapt
+	if c == nil {
+		return
+	}
+	a := &adaptState{
+		cfg:          c,
+		every:        c.Every,
+		policy:       c.Policy,
+		staticSwitch: !n.alg.uniformStatic(),
+		exactSwitch:  n.alg.dynamic() && !n.alg.higherOrder(),
+	}
+	if !a.staticSwitch && !a.exactSwitch {
+		return
+	}
+	a.modes = make([]sampling.Mode, len(n.samplers))
+	a.cells = make([]sampling.TrialCell, len(n.samplers))
+	if a.staticSwitch {
+		a.orig = append([]sampling.StaticSampler(nil), n.samplers...)
+	}
+	n.adapt = a
+}
+
+// record accumulates one completed step's trial count for an owned vertex.
+func (a *adaptState) record(vi graph.VertexID, trials uint32) {
+	a.cells[vi].Record(trials)
+}
+
+// adaptDecide re-evaluates every owned vertex's mode at a barrier and
+// applies the switches. See the package comment for why this is
+// deterministic.
+func (n *node) adaptDecide(iteration int) {
+	a := n.adapt
+	for vi := range a.modes {
+		v := n.lo + graph.VertexID(vi)
+		deg := n.g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		cur := a.modes[vi]
+		want := cur
+		if a.cfg.Force != nil {
+			m, ok := a.cfg.Force(iteration, v)
+			if !ok {
+				continue
+			}
+			want = m
+		} else {
+			steps, trials := a.cells[vi].Load()
+			if a.exactSwitch {
+				want = a.policy.DecideDynamic(deg, steps, trials, want)
+			}
+			if want != sampling.ModeExact && a.staticSwitch {
+				want = a.policy.DecideStatic(deg, steps, want)
+			}
+		}
+		if want == cur || !n.applyMode(vi, v, want) {
+			continue
+		}
+		a.modes[vi] = want
+		if a.cfg.OnSwitch != nil {
+			a.cfg.OnSwitch(n.rank, iteration, v, cur, want)
+		}
+	}
+}
+
+// applyMode installs the sampling structure mode selects at owned vertex
+// v, reporting whether the mode applies to this algorithm. Inapplicable
+// modes (from Force schedules) are rejected rather than half-applied.
+func (n *node) applyMode(vi int, v graph.VertexID, want sampling.Mode) bool {
+	a := n.adapt
+	switch want {
+	case sampling.ModeExact:
+		// The hot path honors this purely through the mode array
+		// (decideStep checks it before throwing darts).
+		return a.exactSwitch
+	case sampling.ModeAuto, sampling.ModeRejection:
+		if a.staticSwitch {
+			n.installStatic(vi, v, a.orig[vi])
+		}
+		return true
+	case sampling.ModeAlias, sampling.ModeITS:
+		if !a.staticSwitch {
+			return false
+		}
+		base := a.orig[vi]
+		if staticKindOf(base) == want {
+			n.installStatic(vi, v, base)
+			return true
+		}
+		// Rebuild through the same float32 weights the setup tables were
+		// built from (WeightAt round-trips exactly — every weight in the
+		// system originates as a float32), so the switched structure draws
+		// from the identical distribution.
+		weights := make([]float32, base.N())
+		for i := range weights {
+			weights[i] = float32(base.WeightAt(i))
+		}
+		var s sampling.StaticSampler
+		var err error
+		if want == sampling.ModeITS {
+			s, err = sampling.NewITS(weights)
+		} else {
+			s, err = sampling.NewAlias(weights)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("core: adapting vertex %d to %v: %v", v, want, err))
+		}
+		n.installStatic(vi, v, s)
+		return true
+	}
+	return false
+}
+
+// installStatic swaps vertex v's static structure, rebuilding the
+// rejection dartboard around it for dynamic walks. The envelope geometry
+// is recomputed from the same pure bound functions, so only the proposal
+// structure changes; parked darts stay valid because their resolution
+// compares the stored Y against Pd only.
+func (n *node) installStatic(vi int, v graph.VertexID, s sampling.StaticSampler) {
+	if n.samplers[vi] == s {
+		return
+	}
+	n.samplers[vi] = s
+	if n.rejections != nil && n.rejections[vi] != nil {
+		n.rejections[vi] = n.buildRejection(v, s)
+	}
+}
+
+// staticKindOf maps a static sampler to the Mode selecting its structure.
+func staticKindOf(s sampling.StaticSampler) sampling.Mode {
+	switch s.(type) {
+	case *sampling.Alias:
+		return sampling.ModeAlias
+	case *sampling.ITS:
+		return sampling.ModeITS
+	}
+	return sampling.ModeAuto
+}

@@ -1,0 +1,275 @@
+package core
+
+// Distribution tests for runtime sampler adaptation: a Force schedule
+// flips vertices between sampling structures mid-run, and the observed
+// transition counts are chi-square tested against the exact conditional
+// distribution. A switched structure that samples from even a slightly
+// wrong distribution (stale tables, mis-rebuilt envelope, parked darts
+// resolved against the wrong geometry) shifts these conditionals.
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"knightking/internal/gen"
+	"knightking/internal/graph"
+	"knightking/internal/sampling"
+)
+
+// chiSquareNext pools a chi-square statistic over per-vertex next-step
+// conditionals: for every path transition cur→next, the expected
+// distribution is weight(cur, i) over cur's out-edges, pooled by
+// destination vertex. Contexts whose smallest expected cell is below 5 are
+// skipped (standard applicability bound). Returns chi2, degrees of
+// freedom, and the number of contexts tested.
+func chiSquareNext(t *testing.T, g *graph.Graph, paths [][]graph.VertexID,
+	weight func(cur graph.VertexID, i int) float64) (float64, int, int) {
+	t.Helper()
+	observed := make(map[graph.VertexID]map[graph.VertexID]int)
+	for _, path := range paths {
+		for i := 0; i+1 < len(path); i++ {
+			m := observed[path[i]]
+			if m == nil {
+				m = make(map[graph.VertexID]int)
+				observed[path[i]] = m
+			}
+			m[path[i+1]]++
+		}
+	}
+	var chi2 float64
+	df, contexts := 0, 0
+	for cur, counts := range observed {
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		probs := make(map[graph.VertexID]float64)
+		total := 0.0
+		for i, x := range g.Neighbors(cur) {
+			w := weight(cur, i)
+			probs[x] += w
+			total += w
+		}
+		minExp := math.Inf(1)
+		for _, w := range probs {
+			if e := float64(n) * w / total; e < minExp {
+				minExp = e
+			}
+		}
+		if minExp < 5 {
+			continue
+		}
+		for x, w := range probs {
+			e := float64(n) * w / total
+			d := float64(counts[x]) - e
+			chi2 += d * d / e
+		}
+		df += len(probs) - 1
+		contexts++
+	}
+	return chi2, df, contexts
+}
+
+// assertChiSquare applies the ±6σ band used throughout the statistical
+// tests: for large df, chi-square is ~N(df, 2df); the upper bound catches
+// bias, the lower bound catches a vacuous test.
+func assertChiSquare(t *testing.T, chi2 float64, df, contexts, minContexts int) {
+	t.Helper()
+	if contexts < minContexts {
+		t.Fatalf("only %d contexts had enough mass (want >= %d); increase walkers", contexts, minContexts)
+	}
+	band := 6 * math.Sqrt(2*float64(df))
+	t.Logf("chi2 = %.1f over df = %d (%d contexts), band ±%.1f", chi2, df, contexts, band)
+	if chi2 > float64(df)+band {
+		t.Fatalf("chi2 = %.1f exceeds %.1f at df = %d: adapted sampling deviates from the exact distribution", chi2, float64(df)+band, df)
+	}
+	if chi2 < float64(df)-band {
+		t.Fatalf("chi2 = %.1f implausibly small for df = %d", chi2, df)
+	}
+}
+
+// TestForcedSwitchChiSquareFirstOrder flips every vertex between rejection
+// sampling and the exact full scan on a fixed schedule while a first-order
+// dynamic walk with a non-uniform Pd runs. Both modes must draw from the
+// identical distribution Pd(e)/ΣPd, so the pooled transition counts must
+// pass chi-square against it.
+func TestForcedSwitchChiSquareFirstOrder(t *testing.T) {
+	pd := func(dst graph.VertexID) float64 {
+		return []float64{1, 0.75, 0.5, 0.25}[dst%4]
+	}
+	a := &Algorithm{
+		Name:     "forced-switch-fo",
+		MaxSteps: 40,
+		EdgeDynamicComp: func(w *Walker, e graph.Edge, _ uint64, _ bool) float64 {
+			return pd(e.Dst)
+		},
+		UpperBound: func(*graph.Graph, graph.VertexID) float64 { return 1 },
+	}
+	g := gen.UniformDegree(60, 6, 241)
+	var switches atomic.Int64
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   a,
+		NumWalkers:  1500,
+		NumNodes:    3,
+		Seed:        243,
+		RecordPaths: true,
+		Adapt: &AdaptConfig{
+			Every: 2,
+			// Flip each vertex exact↔rejection every decision barrier, phase
+			// staggered by vertex so both modes are live at all times.
+			Force: func(iteration int, v graph.VertexID) (sampling.Mode, bool) {
+				if (iteration/2+int(v))%2 == 0 {
+					return sampling.ModeExact, true
+				}
+				return sampling.ModeRejection, true
+			},
+			OnSwitch: func(rank, iteration int, v graph.VertexID, from, to sampling.Mode) {
+				switches.Add(1)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := switches.Load(); s < 100 {
+		t.Fatalf("only %d mode switches; the schedule did not exercise adaptation", s)
+	}
+	chi2, df, contexts := chiSquareNext(t, g, res.Paths, func(cur graph.VertexID, i int) float64 {
+		return pd(g.Neighbors(cur)[i])
+	})
+	assertChiSquare(t, chi2, df, contexts, 50)
+}
+
+// TestForcedSwitchChiSquareBiasedStatic flips every vertex's static
+// structure between alias tables and ITS mid-run on a weighted graph. Both
+// structures must sample proportionally to the edge weights, so the
+// transition counts of a biased static walk must pass chi-square against
+// weight(e)/Σweight.
+func TestForcedSwitchChiSquareBiasedStatic(t *testing.T) {
+	g := gen.WithUniformWeights(gen.UniformDegree(60, 6, 251), 1, 5, 252)
+	var switches atomic.Int64
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   &Algorithm{Name: "forced-switch-static", Biased: true, MaxSteps: 40},
+		NumWalkers:  1500,
+		NumNodes:    3,
+		Seed:        253,
+		RecordPaths: true,
+		Adapt: &AdaptConfig{
+			Every: 2,
+			Force: func(iteration int, v graph.VertexID) (sampling.Mode, bool) {
+				if (iteration/2+int(v))%2 == 0 {
+					return sampling.ModeITS, true
+				}
+				return sampling.ModeAlias, true
+			},
+			OnSwitch: func(rank, iteration int, v graph.VertexID, from, to sampling.Mode) {
+				switches.Add(1)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := switches.Load(); s < 100 {
+		t.Fatalf("only %d mode switches; the schedule did not exercise adaptation", s)
+	}
+	chi2, df, contexts := chiSquareNext(t, g, res.Paths, func(cur graph.VertexID, i int) float64 {
+		return float64(g.EdgeWeight(cur, i))
+	})
+	assertChiSquare(t, chi2, df, contexts, 50)
+}
+
+// TestPolicyAdaptationChiSquareNode2Vec runs the policy (not a forced
+// schedule) on a biased node2vec walk aggressive enough to switch static
+// structures mid-run, then validates the second-order conditionals: for
+// every (prev, cur) context the next-vertex distribution must match
+// Ps(e)·Pd(e) exactly, switches and all.
+func TestPolicyAdaptationChiSquareNode2Vec(t *testing.T) {
+	const p, q = 2.0, 0.5
+	g := gen.WithUniformWeights(gen.UniformDegree(60, 6, 261), 1, 5, 262)
+	a := node2vecAlg(p, q, 48)
+	a.Biased = true
+	var switches atomic.Int64
+	res, err := Run(Config{
+		Graph:       g,
+		Algorithm:   a,
+		NumWalkers:  2500,
+		NumNodes:    4,
+		Seed:        263,
+		RecordPaths: true,
+		Adapt: &AdaptConfig{
+			Every:  2,
+			Policy: sampling.AdaptivePolicy{MinSteps: 1},
+			OnSwitch: func(rank, iteration int, v graph.VertexID, from, to sampling.Mode) {
+				switches.Add(1)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switches.Load() == 0 {
+		t.Fatal("policy made no switches; the adapted path was not exercised")
+	}
+	if res.Counters.Queries == 0 {
+		t.Fatal("no remote state queries; the second-order path was not exercised")
+	}
+
+	// Second-order tally: context (prev, cur) → next, expected ∝ Ps·Pd.
+	type context struct{ prev, cur graph.VertexID }
+	observed := make(map[context]map[graph.VertexID]int)
+	for _, path := range res.Paths {
+		for i := 1; i+1 < len(path); i++ {
+			ctx := context{path[i-1], path[i]}
+			m := observed[ctx]
+			if m == nil {
+				m = make(map[graph.VertexID]int)
+				observed[ctx] = m
+			}
+			m[path[i+1]]++
+		}
+	}
+	invP, invQ := 1/p, 1/q
+	var chi2 float64
+	df, contexts := 0, 0
+	for ctx, counts := range observed {
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		probs := make(map[graph.VertexID]float64)
+		total := 0.0
+		for i, x := range g.Neighbors(ctx.cur) {
+			pd := invQ
+			switch {
+			case x == ctx.prev:
+				pd = invP
+			case g.HasEdge(ctx.prev, x):
+				pd = 1
+			}
+			w := float64(g.EdgeWeight(ctx.cur, i)) * pd
+			probs[x] += w
+			total += w
+		}
+		minExp := math.Inf(1)
+		for _, w := range probs {
+			if e := float64(n) * w / total; e < minExp {
+				minExp = e
+			}
+		}
+		if minExp < 5 {
+			continue
+		}
+		for x, w := range probs {
+			e := float64(n) * w / total
+			d := float64(counts[x]) - e
+			chi2 += d * d / e
+		}
+		df += len(probs) - 1
+		contexts++
+	}
+	assertChiSquare(t, chi2, df, contexts, 100)
+}

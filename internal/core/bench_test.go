@@ -8,11 +8,15 @@ import (
 	"knightking/internal/gen"
 )
 
-// benchRun executes one engine run and reports steps/sec.
-func benchRun(b *testing.B, a *core.Algorithm, nodes int) {
+// benchRun executes one engine run and reports steps/sec and allocs/op.
+// stepping "" uses the default (interleaved); the Scalar variants pin the
+// reference loop so regressions in either strategy are visible separately
+// in the trend data.
+func benchRun(b *testing.B, a *core.Algorithm, nodes int, stepping string) {
 	b.Helper()
 	g := gen.TruncatedPowerLaw(5000, 4, 500, 2.0, 1)
 	var steps int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Run(core.Config{
@@ -20,6 +24,7 @@ func benchRun(b *testing.B, a *core.Algorithm, nodes int) {
 			Algorithm: a,
 			NumNodes:  nodes,
 			Seed:      uint64(i + 1),
+			Stepping:  stepping,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -30,21 +35,26 @@ func benchRun(b *testing.B, a *core.Algorithm, nodes int) {
 }
 
 func BenchmarkEngineDeepWalk(b *testing.B) {
-	benchRun(b, alg.DeepWalk(20, false), 1)
+	benchRun(b, alg.DeepWalk(20, false), 1, "")
 }
 
 func BenchmarkEngineDeepWalk4Nodes(b *testing.B) {
-	benchRun(b, alg.DeepWalk(20, false), 4)
+	benchRun(b, alg.DeepWalk(20, false), 4, "")
+}
+
+func BenchmarkEngineDeepWalk4NodesScalar(b *testing.B) {
+	benchRun(b, alg.DeepWalk(20, false), 4, core.SteppingScalar)
 }
 
 func BenchmarkEnginePPR(b *testing.B) {
-	benchRun(b, alg.PPR(0.05, false, 0), 1)
+	benchRun(b, alg.PPR(0.05, false, 0), 1, "")
 }
 
 func BenchmarkEngineMetaPath(b *testing.B) {
 	g := gen.WithTypes(gen.TruncatedPowerLaw(5000, 4, 500, 2.0, 1), 3, 2)
 	a := alg.MetaPath([][]int32{{0, 1}, {2}}, 20, false)
 	var steps int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.Run(core.Config{Graph: g, Algorithm: a, Seed: uint64(i + 1)})
@@ -59,11 +69,17 @@ func BenchmarkEngineMetaPath(b *testing.B) {
 func BenchmarkEngineNode2Vec(b *testing.B) {
 	benchRun(b, alg.Node2Vec(alg.Node2VecParams{
 		P: 2, Q: 0.5, Length: 20, LowerBound: true, FoldOutlier: true,
-	}), 1)
+	}), 1, "")
 }
 
 func BenchmarkEngineNode2Vec4Nodes(b *testing.B) {
 	benchRun(b, alg.Node2Vec(alg.Node2VecParams{
 		P: 2, Q: 0.5, Length: 20, LowerBound: true, FoldOutlier: true,
-	}), 4)
+	}), 4, "")
+}
+
+func BenchmarkEngineNode2Vec4NodesScalar(b *testing.B) {
+	benchRun(b, alg.Node2Vec(alg.Node2VecParams{
+		P: 2, Q: 0.5, Length: 20, LowerBound: true, FoldOutlier: true,
+	}), 4, core.SteppingScalar)
 }

@@ -35,6 +35,20 @@ const walkerChunk = 128
 // active walker count falls below it drops to a single worker (§6.2).
 const DefaultLightThreshold = 4000
 
+// Stepping strategies for phase A (Config.Stepping).
+const (
+	// SteppingInterleaved batches walkers and executes each step as three
+	// stages — gather, move, update — stage-at-a-time across the batch
+	// (ThunderRW-style step interleaving). The default.
+	SteppingInterleaved = "interleaved"
+	// SteppingScalar is the reference one-walker-at-a-time loop, kept as
+	// the bit-identity oracle for the interleaved pipeline.
+	SteppingScalar = "scalar"
+)
+
+// DefaultBatchSize is the interleaved pipeline's walker batch size.
+const DefaultBatchSize = 256
+
 // ErrCancelled is returned (wrapped) by Run and RunNode when a run is
 // aborted through Config.Cancel. The abort is cooperative and aligned:
 // every rank leaves the superstep loop at the same barrier, so no partial
@@ -87,6 +101,24 @@ type Config struct {
 	// Tables must have been built from this exact Graph: a degree mismatch
 	// panics rather than silently walking a stale epoch.
 	Samplers SamplerProvider
+	// Stepping selects the phase-A execution strategy: SteppingInterleaved
+	// (the default) batches walkers and runs each step's gather / move /
+	// update stages stage-at-a-time across the batch, overlapping adjacency
+	// and sampler-table loads; SteppingScalar is the reference
+	// one-walker-at-a-time loop. Both consume each walker's private RNG
+	// stream in the same order, so they produce bit-identical walks under
+	// the same seed.
+	Stepping string
+	// BatchSize is the interleaved pipeline's walker batch size (default
+	// DefaultBatchSize). Ignored under scalar stepping.
+	BatchSize int
+	// Adapt enables runtime sampler adaptation: the engine measures
+	// per-vertex rejection trial counts and switches hot vertices between
+	// sampling structures at superstep barriers (see AdaptConfig). Mutually
+	// exclusive with Checkpoint/Restore: snapshots do not capture adapted
+	// per-vertex modes, and the resume bit-identity contract is pinned
+	// without them.
+	Adapt *AdaptConfig
 	// LightThreshold enables straggler-aware light mode below this active
 	// count; 0 selects DefaultLightThreshold, negative disables.
 	LightThreshold int
@@ -409,6 +441,22 @@ func (cfg *Config) normalize() error {
 	default:
 		return fmt.Errorf("core: unknown SamplerKind %q (want alias or its)", cfg.SamplerKind)
 	}
+	switch cfg.Stepping {
+	case "":
+		cfg.Stepping = SteppingInterleaved
+	case SteppingInterleaved, SteppingScalar:
+	default:
+		return fmt.Errorf("core: unknown Stepping %q (want %s or %s)", cfg.Stepping, SteppingInterleaved, SteppingScalar)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Adapt != nil {
+		if cfg.Checkpoint != nil || cfg.Restore != nil {
+			return fmt.Errorf("core: Adapt is mutually exclusive with Checkpoint/Restore")
+		}
+		cfg.Adapt.normalize()
+	}
 	if cfg.StartVertex != nil && cfg.StartWeights != nil {
 		return fmt.Errorf("core: StartVertex and StartWeights are mutually exclusive")
 	}
@@ -467,13 +515,44 @@ type node struct {
 
 	// Per owned vertex (index v-lo): static sampler and rejection
 	// dartboard (dynamic algorithms only). nil for degree-0 vertices.
+	// The dartboards point into the boards slab (one allocation per node
+	// instead of one per vertex); adaptation rebuilds swap in individually
+	// allocated replacements, which is fine — the pointers are the API.
 	samplers   []sampling.StaticSampler
 	rejections []*sampling.Rejection
+	boards     []sampling.Rejection
 
 	walkers  []*Walker
 	awaiting map[int64]*Walker
 
 	inFlight int64 // migrations sent but not yet counted by their receiver
+
+	// Preallocated hot-path state: the walker arena, one workerState per
+	// worker goroutine (persistent output staging, batch arrays, scratch),
+	// a loop-goroutine workerState for phase C, and the phase-A keep/parked
+	// scratch. All are reused across supersteps so the steady-state walker
+	// and message path allocates nothing.
+	pool      walkerPool
+	wstates   []*workerState
+	loop      *workerState
+	keep      []bool
+	parkedBuf []*Walker
+	queryBuf  []transport.Message
+	spansBuf  []querySpan
+	errsBuf   []error
+
+	// adapt holds runtime sampler-adaptation state (nil when disabled).
+	adapt *adaptState
+
+	// localMig is non-nil when the endpoint shares this process's address
+	// space (transport.LocalSender): migrations then transfer walker
+	// objects by reference instead of round-tripping through the wire
+	// codec. Any wrapper (observer, timeout, fault injection) hides the
+	// capability, restoring the byte path.
+	localMig transport.LocalSender
+
+	interleaved bool
+	batchSize   int
 
 	// obs receives telemetry when Config.Observer is set. The step*
 	// accumulators collect the current superstep's exchange time and
@@ -483,6 +562,9 @@ type node struct {
 	stepExchange  int64
 	stepRecvMsgs  int64
 	stepRecvBytes int64
+	stepGather    int64
+	stepMove      int64
+	stepUpdate    int64
 
 	// ownsResult marks the node whose snapshot segments carry the process's
 	// result sinks (paths, visits, histogram) and counters: rank 0 under
@@ -511,7 +593,16 @@ func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoi
 		obs:        cfg.Observer,
 	}
 	n.lo, n.hi = part.Range(rank)
+	n.interleaved = cfg.Stepping != SteppingScalar
+	n.batchSize = cfg.BatchSize
+	n.localMig, _ = ep.(transport.LocalSender)
 	n.buildSamplers()
+	n.initAdapt()
+	n.wstates = make([]*workerState, cfg.Workers)
+	for i := range n.wstates {
+		n.wstates[i] = newWorkerState(ep.Size())
+	}
+	n.loop = newWorkerState(ep.Size())
 	if cfg.Restore != nil {
 		restoreStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		if err := n.restoreSnapshot(cfg.Restore); err != nil {
@@ -532,6 +623,7 @@ func (n *node) buildSamplers() {
 	n.samplers = make([]sampling.StaticSampler, count)
 	if n.alg.dynamic() {
 		n.rejections = make([]*sampling.Rejection, count)
+		n.boards = make([]sampling.Rejection, count)
 	}
 	// A sampler provider replaces local construction only when its tables
 	// are exactly what the build loop would produce: edge-weight statics
@@ -564,7 +656,7 @@ func (n *node) buildSamplers() {
 		switch {
 		case s != nil: // provided above
 		case n.alg.uniformStatic():
-			s = sampling.NewUniform(deg)
+			s = sampling.SharedUniform(deg)
 		default:
 			weights := make([]float32, deg)
 			for j := 0; j < deg; j++ {
@@ -582,18 +674,34 @@ func (n *node) buildSamplers() {
 		}
 		n.samplers[i] = s
 		if n.alg.dynamic() {
-			q := n.alg.UpperBound(n.g, v)
-			l := 0.0
-			if n.alg.LowerBound != nil {
-				l = n.alg.LowerBound(n.g, v)
-			}
-			var apps []sampling.Appendix
-			if n.alg.Outliers != nil {
-				apps = n.alg.Outliers(n.g, v)
-			}
-			n.rejections[i] = sampling.NewRejection(s, q, l, apps)
+			q, l, apps := n.rejectionGeometry(v)
+			n.boards[i].Reset(s, q, l, apps)
+			n.rejections[i] = &n.boards[i]
 		}
 	}
+}
+
+// rejectionGeometry evaluates vertex v's envelope bounds and outlier
+// appendices — the pure (graph, vertex) inputs every dartboard build uses.
+func (n *node) rejectionGeometry(v graph.VertexID) (q, l float64, apps []sampling.Appendix) {
+	q = n.alg.UpperBound(n.g, v)
+	if n.alg.LowerBound != nil {
+		l = n.alg.LowerBound(n.g, v)
+	}
+	if n.alg.Outliers != nil {
+		apps = n.alg.Outliers(n.g, v)
+	}
+	return q, l, apps
+}
+
+// buildRejection constructs vertex v's rejection dartboard over static
+// structure s. Factored out of buildSamplers so runtime adaptation can
+// rebuild a dartboard when a vertex's proposal structure switches: the
+// envelope geometry is a pure function of (graph, vertex), so a rebuilt
+// board differs only in its proposal structure.
+func (n *node) buildRejection(v graph.VertexID, s sampling.StaticSampler) *sampling.Rejection {
+	q, l, apps := n.rejectionGeometry(v)
+	return sampling.NewRejection(s, q, l, apps)
 }
 
 // seedWalkers creates the walkers whose start vertex this node owns.
@@ -611,11 +719,15 @@ func (n *node) seedWalkers() {
 		startDist = its
 	}
 	for id := int64(0); id < int64(n.cfg.NumWalkers); id++ {
-		w := &Walker{ID: id, R: *rng.NewStream(n.cfg.Seed, uint64(id))}
+		// Derive the stream and draw the placement on the stack; a walker
+		// is materialized (from the still-pristine arena, so every field is
+		// zero) only when this node owns the start vertex. Unowned ids cost
+		// no allocation at all.
+		r := rng.Stream(n.cfg.Seed, uint64(id))
 		var start graph.VertexID
 		switch {
 		case startDist != nil:
-			start = graph.VertexID(startDist.Sample(&w.R))
+			start = graph.VertexID(startDist.Sample(&r))
 		case n.cfg.StartVertex != nil:
 			start = n.cfg.StartVertex(id)
 		default:
@@ -624,6 +736,9 @@ func (n *node) seedWalkers() {
 		if !n.part.Owns(n.rank, start) {
 			continue
 		}
+		w := n.pool.get()
+		w.ID = id
+		w.R = r
 		w.Cur = start
 		w.Origin = start
 		if n.cfg.RecordPaths {
@@ -641,6 +756,7 @@ func (n *node) seedWalkers() {
 type outBufs struct {
 	size       int
 	migrate    [][]byte
+	local      []*walkerBatch // object-path migrations (shared address space)
 	query      [][]byte
 	response   [][]byte
 	migrations int64
@@ -650,6 +766,7 @@ func newOutBufs(size int) *outBufs {
 	return &outBufs{
 		size:     size,
 		migrate:  make([][]byte, size),
+		local:    make([]*walkerBatch, size),
 		query:    make([][]byte, size),
 		response: make([][]byte, size),
 	}
@@ -657,6 +774,16 @@ func newOutBufs(size int) *outBufs {
 
 func (o *outBufs) addMigration(dest int, w *Walker) {
 	o.migrate[dest] = encodeWalker(o.migrate[dest], w)
+	o.migrations++
+}
+
+func (o *outBufs) addLocalMigration(dest int, w *Walker) {
+	b := o.local[dest]
+	if b == nil {
+		b = walkerBatchPool.Get().(*walkerBatch)
+		o.local[dest] = b
+	}
+	b.ws = append(b.ws, w)
 	o.migrations++
 }
 
@@ -675,20 +802,30 @@ func (o *outBufs) addResponse(dest int, walkerID int64, result uint64) {
 	o.response[dest] = append(o.response[dest], rec[:]...)
 }
 
-// flush sends all non-empty buffers.
-func (o *outBufs) flush(ep transport.Endpoint) {
+// flush sends all non-empty buffers. The transport's ownership contract
+// transfers a sent payload to the endpoint, so flush copies each staging
+// buffer into an exactly-sized payload and keeps the staging capacity for
+// the next superstep: one allocation per non-empty (dest, kind) pair
+// instead of regrowing every staging buffer from scratch each phase.
+// Object-path migration batches (ls non-nil) transfer wholesale — the
+// receiver recycles the batch container through walkerBatchPool.
+func (o *outBufs) flush(ep transport.Endpoint, ls transport.LocalSender) {
 	for dest := 0; dest < o.size; dest++ {
-		if len(o.migrate[dest]) > 0 {
-			ep.Send(dest, kMigrate, o.migrate[dest])
-			o.migrate[dest] = nil
+		if b := o.local[dest]; b != nil {
+			ls.SendLocal(dest, kMigrate, b)
+			o.local[dest] = nil
 		}
-		if len(o.query[dest]) > 0 {
-			ep.Send(dest, kQuery, o.query[dest])
-			o.query[dest] = nil
+		if b := o.migrate[dest]; len(b) > 0 {
+			ep.Send(dest, kMigrate, append(make([]byte, 0, len(b)), b...))
+			o.migrate[dest] = b[:0]
 		}
-		if len(o.response[dest]) > 0 {
-			ep.Send(dest, kResponse, o.response[dest])
-			o.response[dest] = nil
+		if b := o.query[dest]; len(b) > 0 {
+			ep.Send(dest, kQuery, append(make([]byte, 0, len(b)), b...))
+			o.query[dest] = b[:0]
+		}
+		if b := o.response[dest]; len(b) > 0 {
+			ep.Send(dest, kResponse, append(make([]byte, 0, len(b)), b...))
+			o.response[dest] = b[:0]
 		}
 	}
 }
@@ -737,6 +874,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		// traffic land in the node's step* fields via exchange().
 		var computeNanos, ckptNanos, globalCount int64
 		n.stepExchange, n.stepRecvMsgs, n.stepRecvBytes = 0, 0, 0
+		n.stepGather, n.stepMove, n.stepUpdate = 0, 0, 0
 		emitSpan := func() {
 			if n.obs == nil {
 				return
@@ -757,6 +895,9 @@ func (n *node) run() (iterations, lightIters int, err error) {
 				ExchangeNanos:   n.stepExchange,
 				BarrierNanos:    barrier,
 				CheckpointNanos: ckptNanos,
+				GatherNanos:     n.stepGather,
+				MoveNanos:       n.stepMove,
+				UpdateNanos:     n.stepUpdate,
 			})
 		}
 
@@ -793,7 +934,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		demuxStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		var global int64
 		var cancelled bool
-		var queryMsgs []transport.Message
+		queryMsgs := n.queryBuf[:0]
 		for _, m := range msgs {
 			switch m.Kind {
 			case kCount:
@@ -802,7 +943,11 @@ func (n *node) run() (iterations, lightIters int, err error) {
 				}
 				global += int64(binary.LittleEndian.Uint64(m.Payload))
 			case kMigrate:
-				if err := n.receiveWalkers(m.Payload); err != nil {
+				if m.Local != nil {
+					b := m.Local.(*walkerBatch)
+					n.walkers = append(n.walkers, b.ws...)
+					b.recycle()
+				} else if err := n.receiveWalkers(m.Payload); err != nil {
 					return iterations, lightIters, err
 				}
 			case kQuery:
@@ -835,6 +980,16 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		if cancelled {
 			emitSpan()
 			return iterations, lightIters, fmt.Errorf("%w at superstep %d", ErrCancelled, iterations)
+		}
+
+		// Sampler adaptation at the barrier: workers are quiesced, the trial
+		// cells hold scheduling-independent sums, and every rank has reached
+		// the same superstep — so switch decisions are deterministic and the
+		// per-vertex sampler arrays can be rewritten without locks.
+		if n.adapt != nil && iterations%n.adapt.every == 0 {
+			adaptStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
+			n.adaptDecide(iterations)
+			computeNanos += time.Since(adaptStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		}
 
 		// Checkpoint at the barrier: every migration sent up to this
@@ -874,6 +1029,11 @@ func (n *node) run() (iterations, lightIters int, err error) {
 		if err := n.phaseB(queryMsgs, light); err != nil {
 			return iterations, lightIters, err
 		}
+		// Stash the demux scratch for the next superstep. clear severs the
+		// payload aliases first — the backing array outlives this
+		// superstep's ownership window, the payload views must not.
+		clear(queryMsgs)
+		n.queryBuf = queryMsgs[:0]
 		computeNanos += time.Since(phaseBStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 
 		msgs, err = n.exchange()
@@ -881,19 +1041,22 @@ func (n *node) run() (iterations, lightIters int, err error) {
 			return iterations, lightIters, err
 		}
 
-		// Phase C: resolve pending darts with the returned results.
+		// Phase C: resolve pending darts with the returned results, using the
+		// loop goroutine's persistent workerState for staging and counters.
 		phaseCStart := time.Now() //kk:nondet-ok telemetry-only timing; never feeds walk state
-		out := newOutBufs(n.ep.Size())
 		for _, m := range msgs {
 			if m.Kind != kResponse {
 				return iterations, lightIters, fmt.Errorf("core: unexpected message kind %d in round 2", m.Kind)
 			}
-			if err := n.applyResponses(m.Payload, out); err != nil {
+			if err := n.applyResponses(m.Payload, n.loop); err != nil {
 				return iterations, lightIters, err
 			}
 		}
-		n.inFlight += out.migrations
-		out.flush(n.ep)                                       // delivered at next superstep's first exchange
+		n.inFlight += n.loop.out.migrations
+		n.loop.out.migrations = 0
+		n.loop.out.flush(n.ep, n.localMig) // delivered at next superstep's first exchange
+		n.loop.counters.flush(n.counters)
+		n.pool.putAll(&n.loop.free)
 		computeNanos += time.Since(phaseCStart).Nanoseconds() //kk:nondet-ok telemetry-only timing; never feeds walk state
 		emitSpan()
 	}
@@ -922,48 +1085,48 @@ func (n *node) lightMode(active int) bool {
 
 // phaseA processes every ready walker once (to a move, a termination, or a
 // parked query), in parallel chunks, then compacts the walker list.
-// Returns the walkers parked on queries this phase.
+// Returns the walkers parked on queries this phase (a scratch slice valid
+// until the next phase A).
 func (n *node) phaseA(light bool) []*Walker {
 	workers := n.cfg.Workers
 	if light {
 		workers = 1
 	}
 	ws := n.walkers
-	keep := make([]bool, len(ws))
-	workerParked := make([][]*Walker, workers)
-	workerBufs := make([]*outBufs, workers)
+	if cap(n.keep) < len(ws) {
+		n.keep = make([]bool, len(ws))
+	}
+	// Every index in [0, len) is written exactly once by whichever worker
+	// claims its chunk, so the reused keep slice needs no clearing.
+	keep := n.keep[:len(ws)]
+	chunk := walkerChunk
+	if n.interleaved {
+		chunk = n.batchSize
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func(wk int) {
+		go func(st *workerState) {
 			defer wg.Done()
-			out := newOutBufs(n.ep.Size())
-			workerBufs[wk] = out
 			for {
-				base := int(next.Add(walkerChunk)) - walkerChunk
+				base := int(next.Add(int64(chunk))) - chunk
 				if base >= len(ws) {
-					return
+					break
 				}
-				end := base + walkerChunk
+				end := base + chunk
 				if end > len(ws) {
 					end = len(ws)
 				}
-				for i := base; i < end; i++ {
-					w := ws[i]
-					if w.awaiting {
-						keep[i] = true // parked in an earlier superstep
-						continue
-					}
-					k, parked := n.processReady(w, out)
-					keep[i] = k
-					if parked {
-						workerParked[wk] = append(workerParked[wk], w)
-					}
+				if n.interleaved {
+					n.stepBatch(ws, base, end, keep, st)
+				} else {
+					n.stepScalar(ws, base, end, keep, st)
 				}
 			}
-		}(wk)
+			st.counters.flush(n.counters)
+		}(n.wstates[wk])
 	}
 	wg.Wait()
 
@@ -975,34 +1138,87 @@ func (n *node) phaseA(light bool) []*Walker {
 	}
 	n.walkers = kept
 
-	var parked []*Walker
+	parked := n.parkedBuf[:0]
 	for wk := 0; wk < workers; wk++ {
-		parked = append(parked, workerParked[wk]...)
-		n.inFlight += workerBufs[wk].migrations
-		workerBufs[wk].flush(n.ep)
+		st := n.wstates[wk]
+		parked = append(parked, st.parked...)
+		st.parked = st.parked[:0]
+		n.inFlight += st.out.migrations
+		st.out.migrations = 0
+		st.out.flush(n.ep, n.localMig)
+		n.pool.putAll(&st.free)
+		if n.obs != nil {
+			n.stepGather += st.gatherNs
+			n.stepMove += st.moveNs
+			n.stepUpdate += st.updateNs
+			st.gatherNs, st.moveNs, st.updateNs = 0, 0, 0
+		}
 	}
+	n.parkedBuf = parked
 	return parked
 }
 
-// processReady advances walker w by at most one step. It returns whether w
-// stays in this node's walker list and whether it parked on a remote query.
-func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
+// stepScalar advances walkers [base, end) one at a time — the reference
+// stepping, kept as the bit-identity oracle for the interleaved pipeline.
+// It shares decideStep/applyAction with stepBatch, so the two strategies
+// cannot drift apart.
+func (n *node) stepScalar(ws []*Walker, base, end int, keep []bool, st *workerState) {
+	for i := base; i < end; i++ {
+		w := ws[i]
+		if w.awaiting {
+			keep[i] = true // parked in an earlier superstep
+			continue
+		}
+		var smp sampling.StaticSampler
+		var rj *sampling.Rejection
+		mode := sampling.ModeAuto
+		deg := n.g.Degree(w.Cur)
+		if deg > 0 {
+			vi := w.Cur - n.lo
+			smp = n.samplers[vi]
+			if n.rejections != nil {
+				rj = n.rejections[vi]
+			}
+			if n.adapt != nil {
+				mode = n.adapt.modes[vi]
+			}
+		}
+		act, edge := n.decideStep(w, deg, smp, rj, mode, st)
+		keep[i] = n.applyAction(w, act, edge, st)
+	}
+}
+
+// action is a decided step outcome, applied by applyAction.
+type action uint8
+
+const (
+	actYield    action = iota // stays put, retries next superstep
+	actFinish                 // walk over: record results, retire the walker
+	actMove                   // traverse the chosen edge (edge index valid)
+	actTeleport               // restart jump back to the walker's origin
+	actPark                   // blocked on the remote query in w.pending*
+)
+
+// decideStep runs the decision half of one walker step: every RNG draw the
+// step consumes happens here, in a fixed per-walker order. Cross-walker
+// ordering is free — each walker draws only from its private stream — which
+// is exactly why scalar and interleaved stepping are bit-identical. The
+// chosen outcome is applied by applyAction, which draws nothing.
+func (n *node) decideStep(w *Walker, deg int, smp sampling.StaticSampler, rj *sampling.Rejection, mode sampling.Mode, st *workerState) (action, int) {
+	bc := &st.counters
 	if !w.sampling {
 		// Step-boundary termination checks (the Pe component).
 		if n.alg.MaxSteps > 0 && int(w.Step) >= n.alg.MaxSteps {
-			n.finish(w)
-			return false, false
+			return actFinish, 0
 		}
 		if n.alg.TerminationProb > 0 && w.R.Bernoulli(n.alg.TerminationProb) {
-			n.finish(w)
-			return false, false
+			return actFinish, 0
 		}
 		if n.alg.RestartProb > 0 && w.R.Bernoulli(n.alg.RestartProb) {
-			return n.teleport(w, out), false
+			return actTeleport, 0
 		}
-		if n.g.Degree(w.Cur) == 0 {
-			n.finish(w)
-			return false, false
+		if deg == 0 {
+			return actFinish, 0
 		}
 		w.sampling = true
 	}
@@ -1012,34 +1228,44 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 		// rejection step, no Pd evaluations (paper: "executes its unified
 		// sampling workflow, but without actually performing rejection
 		// sampling").
-		n.counters.Trials.Add(1)
-		idx := n.samplerOf(w.Cur).Sample(&w.R)
-		if n.obs != nil {
-			n.obs.ObserveStepTrials(1)
-		}
-		return n.move(w, idx, out), false
+		bc.trials++
+		idx := smp.Sample(&w.R)
+		n.observeStep(w, 1, 1)
+		return actMove, idx
 	}
 
-	rj := n.rejectionOf(w.Cur)
+	if mode == sampling.ModeExact {
+		// Adapted vertex: its measured rejection pressure exceeded the exact
+		// scan's cost, so skip dart throwing entirely.
+		idx, ok := n.fullScanChoose(w, deg, smp, st, 1, 1)
+		if !ok {
+			return actFinish, 0
+		}
+		return actMove, idx
+	}
+
 	fallbackAt := n.alg.fallbackTrials()
 	for trials := 0; ; trials++ {
 		if trials >= fallbackAt {
 			if !n.alg.higherOrder() {
-				return n.fullScanStep(w, out), false
+				idx, ok := n.fullScanChoose(w, deg, smp, st, int64(fallbackAt)+1, uint32(fallbackAt)+1)
+				if !ok {
+					return actFinish, 0
+				}
+				return actMove, idx
 			}
 			// Remote Pd rules out an exact full scan; check for dead ends
 			// if the algorithm can, otherwise yield and retry next
 			// superstep.
 			if n.alg.ZeroMassCheck != nil && n.alg.ZeroMassCheck(n.g, w.Cur, w) {
-				n.finish(w)
-				return false, false
+				return actFinish, 0
 			}
-			return true, false
+			return actYield, 0
 		}
-		n.counters.Trials.Add(1)
+		bc.trials++
 		p := rj.Propose(&w.R)
 		if p.Appendix >= 0 {
-			n.counters.AppendixHits.Add(1)
+			bc.appendixHits++
 			tag := rj.Appendices()[p.Appendix].Tag
 			idx := n.alg.LocateOutlier(n.g, w.Cur, w, tag)
 			if idx < 0 {
@@ -1047,22 +1273,18 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 			}
 			e := n.g.EdgeAt(w.Cur, idx)
 			pd := n.alg.EdgeDynamicComp(w, e, 0, false)
-			n.counters.EdgeProbEvals.Add(1)
-			prob := rj.AppendixAcceptProb(p, n.samplerOf(w.Cur).WeightAt(idx), pd)
+			bc.edgeProbEvals++
+			prob := rj.AppendixAcceptProb(p, smp.WeightAt(idx), pd)
 			if w.R.Bernoulli(prob) {
-				if n.obs != nil {
-					n.obs.ObserveStepTrials(int64(trials) + 1)
-				}
-				return n.move(w, idx, out), false
+				n.observeStep(w, int64(trials)+1, uint32(trials)+1)
+				return actMove, idx
 			}
 			continue
 		}
 		if p.PreAccepted {
-			n.counters.PreAccepts.Add(1)
-			if n.obs != nil {
-				n.obs.ObserveStepTrials(int64(trials) + 1)
-			}
-			return n.move(w, p.EdgeIdx, out), false
+			bc.preAccepts++
+			n.observeStep(w, int64(trials)+1, uint32(trials)+1)
+			return actMove, p.EdgeIdx
 		}
 		e := n.g.EdgeAt(w.Cur, p.EdgeIdx)
 		if n.alg.higherOrder() {
@@ -1072,73 +1294,93 @@ func (n *node) processReady(w *Walker, out *outBufs) (keep, parked bool) {
 				w.pendingY = p.Y
 				w.pendingTarget = target
 				w.pendingArg = arg
-				out.addQuery(n.part.Owner(target), w.ID, target, arg)
-				n.counters.Queries.Add(1)
-				return true, true
+				return actPark, 0
 			}
 		}
 		pd := n.alg.EdgeDynamicComp(w, e, 0, false)
-		n.counters.EdgeProbEvals.Add(1)
+		bc.edgeProbEvals++
 		if rj.AcceptMain(p, pd) {
-			if n.obs != nil {
-				n.obs.ObserveStepTrials(int64(trials) + 1)
-			}
-			return n.move(w, p.EdgeIdx, out), false
+			n.observeStep(w, int64(trials)+1, uint32(trials)+1)
+			return actMove, p.EdgeIdx
 		}
 	}
 }
 
-// fullScanStep is the exact O(deg) fallback used after FallbackTrials
-// consecutive rejections at one vertex: evaluate Pd for every edge, sample
-// the product distribution directly, or terminate the walk when no edge
-// has positive probability (the paper's "no out edges ... are eligible").
-func (n *node) fullScanStep(w *Walker, out *outBufs) (keep bool) {
-	deg := n.g.Degree(w.Cur)
-	s := n.samplerOf(w.Cur)
-	weights := make([]float64, deg)
+// applyAction performs the update half of a decided step — result
+// recording, relocation, message emission — and reports whether w stays in
+// this node's walker list. It never touches walker RNG, so the batch
+// pipeline is free to run it after all of a batch's decisions.
+func (n *node) applyAction(w *Walker, act action, edgeIdx int, st *workerState) bool {
+	switch act {
+	case actYield:
+		return true
+	case actFinish:
+		n.finish(w, st)
+		return false
+	case actMove:
+		dst := n.g.Neighbors(w.Cur)[edgeIdx]
+		st.counters.steps++
+		return n.relocate(w, dst, st)
+	case actTeleport:
+		// A restart counts a step of walk length but not an edge traversal.
+		st.counters.restarts++
+		return n.relocate(w, w.Origin, st)
+	case actPark:
+		st.out.addQuery(n.part.Owner(w.pendingTarget), w.ID, w.pendingTarget, w.pendingArg)
+		st.counters.queries++
+		st.parked = append(st.parked, w)
+		return true
+	}
+	panic(fmt.Sprintf("core: unknown step action %d", act))
+}
+
+// observeStep reports an accepted step's trial burst to telemetry and the
+// adaptation cells; neither consumes walker RNG.
+func (n *node) observeStep(w *Walker, obsTrials int64, cellTrials uint32) {
+	if n.obs != nil {
+		n.obs.ObserveStepTrials(obsTrials)
+	}
+	if n.adapt != nil {
+		n.adapt.record(w.Cur-n.lo, cellTrials)
+	}
+}
+
+// fullScanChoose is the exact O(deg) step used after FallbackTrials
+// consecutive rejections (or at a vertex adapted to ModeExact): evaluate
+// Pd for every edge and sample the product distribution directly, using
+// the worker's scratch buffers so the steady state allocates nothing.
+// ok=false means no edge has positive probability (the paper's "no out
+// edges ... are eligible"). obsTrials/cellTrials are the dart count
+// attributed to the completed step.
+func (n *node) fullScanChoose(w *Walker, deg int, smp sampling.StaticSampler, st *workerState, obsTrials int64, cellTrials uint32) (int, bool) {
+	bc := &st.counters
+	if cap(st.scanWeights) < deg {
+		st.scanWeights = make([]float64, deg)
+	}
+	weights := st.scanWeights[:deg]
 	total := 0.0
 	for i := 0; i < deg; i++ {
 		e := n.g.EdgeAt(w.Cur, i)
 		pd := n.alg.EdgeDynamicComp(w, e, 0, false)
-		n.counters.EdgeProbEvals.Add(1)
-		weights[i] = s.WeightAt(i) * pd
+		bc.edgeProbEvals++
+		weights[i] = smp.WeightAt(i) * pd
 		total += weights[i]
 	}
 	if total <= 0 {
-		n.finish(w)
-		return false
+		return 0, false
 	}
-	its, err := sampling.NewITSFromFloat64(weights)
-	if err != nil {
+	if err := st.scanITS.ResetFloat64(weights); err != nil {
 		panic(fmt.Sprintf("core: full-scan fallback at vertex %d: %v", w.Cur, err))
 	}
-	n.counters.Trials.Add(1)
-	if n.obs != nil {
-		// The step completed only after FallbackTrials rejected darts plus
-		// the exact draw; record the whole burst.
-		n.obs.ObserveStepTrials(int64(n.alg.fallbackTrials()) + 1)
-	}
-	return n.move(w, its.Sample(&w.R), out)
-}
-
-// move advances w along its current vertex's edgeIdx-th edge, migrating it
-// when the destination is owned elsewhere. Returns whether w stays local.
-func (n *node) move(w *Walker, edgeIdx int, out *outBufs) bool {
-	dst := n.g.Neighbors(w.Cur)[edgeIdx]
-	n.counters.Steps.Add(1)
-	return n.relocate(w, dst, out)
-}
-
-// teleport jumps w back to its origin (restart), counting a step of walk
-// length but not an edge traversal.
-func (n *node) teleport(w *Walker, out *outBufs) bool {
-	n.counters.Restarts.Add(1)
-	return n.relocate(w, w.Origin, out)
+	bc.trials++
+	n.observeStep(w, obsTrials, cellTrials)
+	return st.scanITS.Sample(&w.R), true
 }
 
 // relocate places w at dst, updating state, visit counts, and path, and
-// migrating the walker if dst is owned by another node.
-func (n *node) relocate(w *Walker, dst graph.VertexID, out *outBufs) bool {
+// migrating the walker if dst is owned by another node. A migrated
+// walker's storage is recycled after encoding.
+func (n *node) relocate(w *Walker, dst graph.VertexID, st *workerState) bool {
 	if k := n.alg.HistorySize; k > 0 {
 		w.History = append(w.History, w.Cur)
 		if len(w.History) > k {
@@ -1159,24 +1401,38 @@ func (n *node) relocate(w *Walker, dst graph.VertexID, out *outBufs) bool {
 	if n.part.Owns(n.rank, dst) {
 		return true
 	}
-	out.addMigration(n.part.Owner(dst), w)
+	if n.localMig != nil {
+		// Object-path migration: the walker itself transfers to the
+		// destination rank (and is eventually recycled into that rank's
+		// arena), so its storage is NOT freed here.
+		st.out.addLocalMigration(n.part.Owner(dst), w)
+		return false
+	}
+	st.out.addMigration(n.part.Owner(dst), w)
+	st.free = append(st.free, w)
 	return false
 }
 
-// finish retires a walker and records its results.
-func (n *node) finish(w *Walker) {
-	n.counters.Terminations.Add(1)
+// finish retires a walker and records its results. The recorded path is
+// detached before the walker's storage is recycled.
+func (n *node) finish(w *Walker, st *workerState) {
+	st.counters.terminations++
 	n.res.Lengths.Observe(int64(w.Step))
 	if n.res.Paths != nil {
 		n.res.Paths[w.ID] = w.Path
+		w.Path = nil
 	}
+	st.free = append(st.free, w)
 }
 
-// receiveWalkers decodes a migration batch into the local walker list.
+// receiveWalkers decodes a migration batch into the local walker list,
+// reusing arena walkers recycled by earlier supersteps.
 func (n *node) receiveWalkers(payload []byte) error {
 	for len(payload) > 0 {
-		w, rest, err := decodeWalker(payload)
+		w := n.pool.get()
+		rest, err := decodeWalkerInto(w, payload)
 		if err != nil {
+			n.pool.put(w)
 			return err
 		}
 		payload = rest
@@ -1206,8 +1462,12 @@ func (n *node) phaseB(queryMsgs []transport.Message, light bool) error {
 		return nil
 	}
 
-	// Flatten message boundaries into a global record index space.
-	spans := make([]querySpan, len(queryMsgs))
+	// Flatten message boundaries into a global record index space (spans
+	// and errs live in node scratch — phase B runs on the loop goroutine).
+	if cap(n.spansBuf) < len(queryMsgs) {
+		n.spansBuf = make([]querySpan, len(queryMsgs))
+	}
+	spans := n.spansBuf[:len(queryMsgs)]
 	idx := 0
 	for i, m := range queryMsgs {
 		spans[i] = querySpan{m: m, first: idx}
@@ -1219,13 +1479,17 @@ func (n *node) phaseB(queryMsgs []transport.Message, light bool) error {
 		workers = 1
 	}
 	var next atomic.Int64
-	errs := make([]error, workers)
+	if cap(n.errsBuf) < workers {
+		n.errsBuf = make([]error, workers)
+	}
+	errs := n.errsBuf[:workers]
+	clear(errs)
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			out := newOutBufs(n.ep.Size())
+			out := n.wstates[wk].out // flushed (empty) since phase A
 			for {
 				base := int(next.Add(walkerChunk)) - walkerChunk
 				if base >= total {
@@ -1240,10 +1504,13 @@ func (n *node) phaseB(queryMsgs []transport.Message, light bool) error {
 					break
 				}
 			}
-			out.flush(n.ep)
+			out.flush(n.ep, n.localMig)
 		}(wk)
 	}
 	wg.Wait()
+	// The spans scratch outlives the superstep; the payload views inside
+	// its Messages must not.
+	clear(spans)
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -1289,8 +1556,11 @@ func (n *node) answerQueryRange(spans []querySpan, base, end int, out *outBufs) 
 	return nil
 }
 
-// applyResponses resolves parked walkers' pending darts.
-func (n *node) applyResponses(payload []byte, out *outBufs) error {
+// applyResponses resolves parked walkers' pending darts. A stored dart's
+// resolution compares its Y against Pd only (AcceptMain consumes no RNG),
+// so it is unaffected by any sampler-structure switch at an intervening
+// adaptation barrier.
+func (n *node) applyResponses(payload []byte, st *workerState) error {
 	if len(payload)%16 != 0 {
 		return fmt.Errorf("core: malformed response batch (%d bytes)", len(payload))
 	}
@@ -1306,16 +1576,14 @@ func (n *node) applyResponses(payload []byte, out *outBufs) error {
 
 		e := n.g.EdgeAt(w.Cur, int(w.pendingEdge))
 		pd := n.alg.EdgeDynamicComp(w, e, result, true)
-		n.counters.EdgeProbEvals.Add(1)
+		st.counters.edgeProbEvals++
 		rj := n.rejectionOf(w.Cur)
 		p := sampling.Proposal{EdgeIdx: int(w.pendingEdge), Appendix: -1, Y: w.pendingY}
 		if rj.AcceptMain(p, pd) {
 			// The accepted dart was thrown in an earlier phase A burst whose
 			// count is no longer tracked; observe the resolving dart alone.
-			if n.obs != nil {
-				n.obs.ObserveStepTrials(1)
-			}
-			if !n.move(w, int(w.pendingEdge), out) {
+			n.observeStep(w, 1, 1)
+			if !n.applyAction(w, actMove, int(w.pendingEdge), st) {
 				n.removeWalker(w)
 			}
 		}

@@ -46,6 +46,14 @@ type SuperstepSpan struct {
 	ExchangeNanos   int64 `json:"exchange_ns"`
 	BarrierNanos    int64 `json:"barrier_ns"`
 	CheckpointNanos int64 `json:"checkpoint_ns"`
+
+	// Gather/Move/Update break phase A's interleaved pipeline down by
+	// stage, summed across workers (CPU time, so they can exceed the
+	// superstep's wall-clock ComputeNanos share on multi-worker nodes).
+	// All three are zero under scalar stepping.
+	GatherNanos int64 `json:"gather_ns,omitempty"`
+	MoveNanos   int64 `json:"move_ns,omitempty"`
+	UpdateNanos int64 `json:"update_ns,omitempty"`
 }
 
 // Observer receives engine telemetry. Implementations must be safe for

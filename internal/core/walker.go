@@ -141,23 +141,34 @@ func encodeWalker(buf []byte, w *Walker) []byte {
 // decodeWalker reads one walker from buf, returning the walker and the
 // remaining bytes.
 func decodeWalker(buf []byte) (*Walker, []byte, error) {
+	w := &Walker{}
+	rest, err := decodeWalkerInto(w, buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, rest, nil
+}
+
+// decodeWalkerInto reads one walker from buf into w, overwriting every
+// field and reusing w's History/Path capacity where possible — the
+// zero-allocation decode path for pooled walkers on the migration hot
+// path. On error w is left partially written; callers recycle it anyway.
+func decodeWalkerInto(w *Walker, buf []byte) ([]byte, error) {
 	if len(buf) < walkerFixedLen {
-		return nil, nil, fmt.Errorf("core: truncated walker record (%d bytes)", len(buf))
+		return nil, fmt.Errorf("core: truncated walker record (%d bytes)", len(buf))
 	}
-	w := &Walker{
-		ID:     int64(binary.LittleEndian.Uint64(buf[0:])),
-		Cur:    binary.LittleEndian.Uint32(buf[8:]),
-		Prev:   binary.LittleEndian.Uint32(buf[12:]),
-		Step:   int32(binary.LittleEndian.Uint32(buf[16:])),
-		Tag:    int32(binary.LittleEndian.Uint32(buf[20:])),
-		Origin: binary.LittleEndian.Uint32(buf[24:]),
-	}
+	w.ID = int64(binary.LittleEndian.Uint64(buf[0:]))
+	w.Cur = binary.LittleEndian.Uint32(buf[8:])
+	w.Prev = binary.LittleEndian.Uint32(buf[12:])
+	w.Step = int32(binary.LittleEndian.Uint32(buf[16:]))
+	w.Tag = int32(binary.LittleEndian.Uint32(buf[20:]))
+	w.Origin = binary.LittleEndian.Uint32(buf[24:])
 	st := rngWords(&w.R)
 	for i := range st {
 		st[i] = binary.LittleEndian.Uint64(buf[28+8*i:])
 	}
 	if buf[60]&^byte(3) != 0 {
-		return nil, nil, fmt.Errorf("core: unknown walker flag bits %#x", buf[60])
+		return nil, fmt.Errorf("core: unknown walker flag bits %#x", buf[60])
 	}
 	w.sampling = buf[60]&1 != 0
 	w.awaiting = buf[60]&2 != 0
@@ -166,33 +177,49 @@ func decodeWalker(buf []byte) (*Walker, []byte, error) {
 	buf = buf[walkerFixedLen:]
 	if w.awaiting {
 		if len(buf) < pendingLen {
-			return nil, nil, fmt.Errorf("core: truncated walker pending dart")
+			return nil, fmt.Errorf("core: truncated walker pending dart")
 		}
 		w.pendingEdge = int32(binary.LittleEndian.Uint32(buf[0:]))
 		w.pendingY = math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
 		w.pendingTarget = binary.LittleEndian.Uint32(buf[12:])
 		w.pendingArg = binary.LittleEndian.Uint64(buf[16:])
 		buf = buf[pendingLen:]
+	} else {
+		w.pendingEdge, w.pendingY, w.pendingTarget, w.pendingArg = 0, 0, 0, 0
 	}
 	if histLen > 0 {
 		if len(buf) < 4*histLen {
-			return nil, nil, fmt.Errorf("core: truncated walker history")
+			return nil, fmt.Errorf("core: truncated walker history")
 		}
-		w.History = make([]graph.VertexID, histLen)
+		if cap(w.History) >= histLen {
+			w.History = w.History[:histLen]
+		} else {
+			w.History = make([]graph.VertexID, histLen)
+		}
 		for i := 0; i < histLen; i++ {
 			w.History[i] = binary.LittleEndian.Uint32(buf[4*i:])
 		}
 		buf = buf[4*histLen:]
+	} else {
+		w.History = w.History[:0]
 	}
 	if pathLen > 0 {
 		if len(buf) < 4*pathLen {
-			return nil, nil, fmt.Errorf("core: truncated walker path")
+			return nil, fmt.Errorf("core: truncated walker path")
 		}
-		w.Path = make([]graph.VertexID, pathLen)
+		if cap(w.Path) >= pathLen {
+			w.Path = w.Path[:pathLen]
+		} else {
+			w.Path = make([]graph.VertexID, 0, pathLen+16)[:pathLen]
+		}
 		for i := 0; i < pathLen; i++ {
 			w.Path[i] = binary.LittleEndian.Uint32(buf[4*i:])
 		}
 		buf = buf[4*pathLen:]
+	} else {
+		// Path must be nil, not merely empty: the engine records paths
+		// exactly when the walker carries a non-nil Path.
+		w.Path = nil
 	}
-	return w, buf, nil
+	return buf, nil
 }

@@ -1,0 +1,87 @@
+package dyngraph
+
+// Interleaved-vs-scalar equivalence on epoch snapshots: the stepping
+// pipeline's determinism contract must hold when the graph is an overlay
+// view with epoch-pinned incremental samplers, where gather-stage loads go
+// through the delta layer instead of the flat CSR.
+
+import (
+	"testing"
+
+	"knightking/internal/alg"
+	"knightking/internal/core"
+	"knightking/internal/gen"
+	"knightking/internal/stats"
+)
+
+func runWalkStepping(t *testing.T, ep *Epoch, program *core.Algorithm, seed uint64, stepping string, batch int) *core.Result {
+	t.Helper()
+	res, err := core.Run(core.Config{
+		Graph:       ep.View(),
+		Algorithm:   program,
+		NumWalkers:  300,
+		NumNodes:    2,
+		Seed:        seed,
+		RecordPaths: true,
+		Samplers:    ep,
+		Stepping:    stepping,
+		BatchSize:   batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestInterleavedMatchesScalarOnEpochs pins bit-identity of interleaved
+// and scalar stepping on a live overlay epoch, for first-order biased and
+// second-order node2vec walks, at a batch size that misaligns against the
+// walker list.
+func TestInterleavedMatchesScalarOnEpochs(t *testing.T) {
+	base := gen.WithUniformWeights(gen.UniformDegree(80, 6, 121), 1, 5, 122)
+	d, err := New(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := d.Apply([]Delta{
+		{Src: 3, Dst: 40, Weight: 9}, {Src: 40, Dst: 3, Weight: 9},
+		{Op: OpDelete, Src: 5, Dst: base.Neighbors(5)[0]},
+		{Src: 7, Dst: 8, Weight: 0.5}, {Src: 8, Dst: 7, Weight: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep.View().Overlaid() {
+		t.Fatal("expected an overlay epoch")
+	}
+
+	programs := map[string]func() *core.Algorithm{
+		"deepwalk-biased": func() *core.Algorithm { return alg.DeepWalk(25, true) },
+		"node2vec": func() *core.Algorithm {
+			return alg.Node2Vec(alg.Node2VecParams{
+				P: 2, Q: 0.5, Length: 25, Biased: true, LowerBound: true, FoldOutlier: true,
+			})
+		},
+	}
+	for name, mk := range programs {
+		scalar := runWalkStepping(t, ep, mk(), 127, core.SteppingScalar, 0)
+		if scalar.Counters.Steps == 0 {
+			t.Fatalf("%s: no steps taken; equivalence is vacuous", name)
+		}
+		for _, batch := range []int{3, 256} {
+			got := runWalkStepping(t, ep, mk(), 127, core.SteppingInterleaved, batch)
+			if !samePaths(scalar.Paths, got.Paths) {
+				t.Errorf("%s/batch=%d: interleaved walks on the epoch diverge from scalar", name, batch)
+			}
+			// Timing counters (ExchangeNanos etc.) are wall-clock and excluded;
+			// everything the sampler touches must match exactly.
+			w, c := scalar.Counters, got.Counters
+			deterministic := func(s stats.Snapshot) [6]int64 {
+				return [6]int64{s.Steps, s.Trials, s.EdgeProbEvals, s.PreAccepts, s.Queries, s.Terminations}
+			}
+			if deterministic(w) != deterministic(c) {
+				t.Errorf("%s/batch=%d: counters differ: scalar %+v, interleaved %+v", name, batch, w, c)
+			}
+		}
+	}
+}

@@ -25,9 +25,14 @@
 //	    msgs[i].Payload = append([]byte(nil), msgs[i].Payload...)
 //	}
 //
-// which untaints the whole slice. The package that declares the Message
-// type itself (the transport implementation) is exempt — it owns the
-// buffers it recycles.
+// which untaints the whole slice. So does clear(msgs): zeroing the
+// elements severs every payload alias the slice carried, after which
+// retaining the backing array (e.g. stashing msgs[:0] as reusable
+// scratch) is safe. A message's Local field is also clean — it holds an
+// object whose ownership transfers to the receiver at delivery (see
+// transport.LocalSender), not a view of a recycled frame buffer. The
+// package that declares the Message type itself (the transport
+// implementation) is exempt — it owns the buffers it recycles.
 //
 // Known limitations, tolerated for a lint: calls other than the
 // recognized copy helpers are assumed not to retain their arguments, and
@@ -153,6 +158,20 @@ func (c *checker) stmt(s ast.Stmt) {
 	switch s := s.(type) {
 	case *ast.AssignStmt:
 		c.assign(s)
+	case *ast.ExprStmt:
+		// clear(msgs) zeroes the elements, severing every payload alias
+		// the slice carried: the variable is clean afterwards.
+		if call, ok := s.X.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "clear" {
+					if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if obj := lintutil.ObjOf(c.pass.TypesInfo, arg); obj != nil {
+							c.taint[obj] = false
+						}
+					}
+				}
+			}
+		}
 	case *ast.SendStmt:
 		if c.tainted(s.Value) {
 			c.pass.Reportf(s.Arrow,
@@ -402,6 +421,14 @@ func (c *checker) tainted(e ast.Expr) bool {
 		obj := lintutil.ObjOf(c.pass.TypesInfo, e)
 		return obj != nil && c.taint[obj]
 	case *ast.SelectorExpr:
+		// Message.Local is an ownership-transferred object (delivery hands
+		// it to the receiver for keeps — transport.LocalSender), not a view
+		// of a recycled frame buffer.
+		if e.Sel.Name == "Local" {
+			if tv, ok := c.pass.TypesInfo.Types[e.X]; ok && c.messageLike(tv.Type) {
+				return false
+			}
+		}
 		return c.tainted(e.X)
 	case *ast.IndexExpr:
 		return c.tainted(e.X)

@@ -4,11 +4,13 @@
 // analyzer must not flag its own recycling.
 package fakewire
 
-// Message mirrors transport.Message.
+// Message mirrors transport.Message, including the ownership-transferred
+// Local object of the shared-address-space delivery path.
 type Message struct {
 	From    int
 	Kind    byte
 	Payload []byte
+	Local   any
 }
 
 // Endpoint mirrors the pooled-buffer transport endpoint.

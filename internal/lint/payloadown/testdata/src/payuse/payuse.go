@@ -11,6 +11,7 @@ var globalBuf []byte
 type cache struct {
 	msgs []fakewire.Message
 	buf  []byte
+	objs []any
 }
 
 func leakToGlobal(e *fakewire.Endpoint) {
@@ -94,6 +95,30 @@ func localUseOK(e *fakewire.Endpoint) int {
 		total += len(m.Payload)
 	}
 	return total
+}
+
+func localObjectOK(c *cache, e *fakewire.Endpoint) {
+	// Message.Local transfers ownership to the receiver at delivery; it is
+	// not a view of a recycled frame buffer.
+	msgs, _ := e.Exchange(nil)
+	for _, m := range msgs {
+		if m.Local != nil {
+			c.objs = append(c.objs, m.Local)
+		}
+	}
+}
+
+func clearThenStashOK(c *cache, e *fakewire.Endpoint) {
+	// clear zeroes the elements, severing the payload aliases; keeping the
+	// backing array as reusable scratch is then safe.
+	msgs, _ := e.Exchange(nil)
+	clear(msgs)
+	c.msgs = msgs[:0]
+}
+
+func stashWithoutClearBad(c *cache, e *fakewire.Endpoint) {
+	msgs, _ := e.Exchange(nil)
+	c.msgs = msgs[:0] // want "payload retained past the call via c"
 }
 
 func reassignCleanOK(c *cache, e *fakewire.Endpoint) {

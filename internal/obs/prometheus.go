@@ -59,6 +59,19 @@ func WriteMetrics(w io.Writer, r *Registry) error {
 	if err := writeFamily(w, "light_mode", "Whether rank 0 ran its last superstep in straggler light mode.", "gauge", light); err != nil {
 		return err
 	}
+	stages := r.StageTotals()
+	for _, m := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"stage_gather_nanos", "Cumulative worker CPU nanoseconds in the interleaved gather stage.", stages.Gather},
+		{"stage_move_nanos", "Cumulative worker CPU nanoseconds in the interleaved move stage.", stages.Move},
+		{"stage_update_nanos", "Cumulative worker CPU nanoseconds in the interleaved update stage.", stages.Update},
+	} {
+		if err := writeFamily(w, m.name, m.help, "counter", m.v); err != nil {
+			return err
+		}
+	}
 	for _, h := range r.Histograms() {
 		if err := writeHistogram(w, h.Snapshot()); err != nil {
 			return err

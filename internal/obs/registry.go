@@ -44,6 +44,12 @@ type Registry struct {
 	activeWalkers atomic.Int64
 	lightMode     atomic.Bool
 
+	// Interleaved-pipeline stage totals, summed across ranks and supersteps.
+	// All three stay zero under scalar stepping.
+	gatherNanos atomic.Int64
+	moveNanos   atomic.Int64
+	updateNanos atomic.Int64
+
 	metaMu   sync.Mutex
 	alg      string
 	vertices int
@@ -111,6 +117,9 @@ func (r *Registry) OnSuperstep(span core.SuperstepSpan) {
 	if span.Rank == 0 {
 		r.lightMode.Store(span.LightMode)
 	}
+	r.gatherNanos.Add(span.GatherNanos)
+	r.moveNanos.Add(span.MoveNanos)
+	r.updateNanos.Add(span.UpdateNanos)
 	r.spanMu.Lock()
 	r.spans = append(r.spans, span)
 	r.rankExchange[span.Rank] += span.ExchangeNanos
@@ -194,6 +203,24 @@ func (r *Registry) FillReport(rep *stats.Report) {
 	rep.StragglerSkew = r.StragglerSkew()
 }
 
+// StageNanos is the cross-rank breakdown of the interleaved stepping
+// pipeline: cumulative worker CPU nanoseconds per stage. Zero-valued under
+// scalar stepping.
+type StageNanos struct {
+	Gather int64 `json:"gather_ns"`
+	Move   int64 `json:"move_ns"`
+	Update int64 `json:"update_ns"`
+}
+
+// StageTotals returns the cumulative pipeline stage times.
+func (r *Registry) StageTotals() StageNanos {
+	return StageNanos{
+		Gather: r.gatherNanos.Load(),
+		Move:   r.moveNanos.Load(),
+		Update: r.updateNanos.Load(),
+	}
+}
+
 // HistogramStatus is the /statusz digest of one histogram.
 type HistogramStatus struct {
 	Count int64   `json:"count"`
@@ -216,6 +243,7 @@ type Status struct {
 	Spans         int                        `json:"spans"`
 	EdgesPerStep  float64                    `json:"edges_per_step"`
 	StragglerSkew float64                    `json:"straggler_skew"`
+	Stages        StageNanos                 `json:"stages"`
 	Counters      stats.Snapshot             `json:"counters"`
 	Histograms    map[string]HistogramStatus `json:"histograms"`
 }
@@ -238,6 +266,7 @@ func (r *Registry) Status() Status {
 	st.LightMode = r.lightMode.Load()
 	st.EdgesPerStep = c.EdgesPerStep()
 	st.StragglerSkew = r.StragglerSkew()
+	st.Stages = r.StageTotals()
 	st.Counters = c
 	r.spanMu.Lock()
 	st.Spans = len(r.spans)

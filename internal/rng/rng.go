@@ -42,10 +42,20 @@ func New(seed uint64) *Rand {
 // seed. Streams with different ids are statistically independent, which
 // lets many workers share one logical seed without sharing state.
 func NewStream(seed uint64, id uint64) *Rand {
+	r := Stream(seed, id)
+	return &r
+}
+
+// Stream is NewStream by value: the same derived generator without the
+// heap allocation, for callers that embed the generator in a larger
+// structure (e.g. pooled walker arenas).
+func Stream(seed uint64, id uint64) Rand {
 	mix := seed
 	_ = splitmix64(&mix)
 	mix ^= (id + 1) * 0x9e3779b97f4a7c15
-	return New(splitmix64(&mix))
+	var r Rand
+	r.Seed(splitmix64(&mix))
+	return r
 }
 
 // Seed resets the generator state from a single 64-bit seed.

@@ -1,0 +1,143 @@
+// Runtime sampler adaptation (FlexiWalker-style): instead of fixing one
+// sampling structure per run, the engine measures per-vertex work — how
+// many rejection darts a step at the vertex costs, how often the vertex is
+// visited — and switches hot vertices to whichever sampler is cheapest for
+// the observed workload:
+//
+//   - dynamic walks: rejection sampling against the envelope is O(E[trials])
+//     per step; when a loose envelope (e.g. a widened dyngraph envelope that
+//     has not been tightened) pushes the measured trials/step past the cost
+//     of an exact O(degree) scan, the vertex switches to the exact scan.
+//   - static proposal structure: alias tables cost two RNG draws per O(1)
+//     draw, ITS costs one draw plus an O(log degree) search; for small
+//     degrees the search is a handful of comparisons in one cache line, so
+//     hot low-degree vertices switch alias → ITS and hot high-degree
+//     vertices switch ITS → alias.
+//
+// This file holds the policy and its measurement cell; the engine owns the
+// per-vertex mode arrays and applies switches only at superstep barriers,
+// which keeps adapted runs deterministic (see internal/core/adapt.go).
+package sampling
+
+import "sync/atomic"
+
+// Mode identifies the sampling strategy in effect for one vertex.
+type Mode uint8
+
+const (
+	// ModeAuto is the engine default for the vertex: the statically
+	// configured structure, rejection sampling for dynamic walks.
+	ModeAuto Mode = iota
+	// ModeRejection explicitly selects rejection sampling with the base
+	// proposal structure (dynamic walks; equivalent to ModeAuto there).
+	ModeRejection
+	// ModeAlias selects an alias-table static structure for the vertex.
+	ModeAlias
+	// ModeITS selects a CDF (inverse transform) static structure.
+	ModeITS
+	// ModeExact selects the exact O(degree) product-distribution scan for
+	// dynamic walks with locally computable Pd.
+	ModeExact
+)
+
+// String returns the mode's short name.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeRejection:
+		return "rejection"
+	case ModeAlias:
+		return "alias"
+	case ModeITS:
+		return "its"
+	case ModeExact:
+		return "exact"
+	}
+	return "invalid"
+}
+
+// TrialCell accumulates one vertex's step and trial counts in a single
+// atomic word (steps in the high 32 bits, trials in the low 32), so hot
+// paths pay one uncontended-in-expectation atomic add per completed step.
+// Readers see a consistent (steps, trials) pair; the pair is a sum over
+// walkers and therefore independent of worker scheduling, which is what
+// makes barrier-time decisions derived from it deterministic.
+type TrialCell struct {
+	v atomic.Uint64
+}
+
+// Record adds one completed step that consumed the given number of trials.
+func (c *TrialCell) Record(trials uint32) {
+	c.v.Add(1<<32 | uint64(trials))
+}
+
+// Load returns the accumulated (steps, trials) pair.
+func (c *TrialCell) Load() (steps, trials uint32) {
+	x := c.v.Load()
+	return uint32(x >> 32), uint32(x)
+}
+
+// Reset clears the cell.
+func (c *TrialCell) Reset() { c.v.Store(0) }
+
+// AdaptivePolicy decides per-vertex sampler switches from measured counts.
+// The zero value selects the defaults documented on each field.
+type AdaptivePolicy struct {
+	// MinSteps is the number of observed steps at a vertex before any
+	// switch is considered (default 32): below it the trials/step estimate
+	// is too noisy to act on.
+	MinSteps uint32
+	// ExactFactor scales the rejection→exact threshold for dynamic walks:
+	// switch when measured trials/step exceeds ExactFactor × degree, i.e.
+	// when dart throwing provably does more Pd-evaluation work than the
+	// O(degree) exact scan (default 1).
+	ExactFactor float64
+	// ITSMaxDegree is the degree at or below which a hot vertex prefers
+	// ITS over an alias table (one RNG draw plus a short search beats two
+	// draws); above it the O(1) alias lookup wins (default 8). Negative
+	// disables static-structure switching.
+	ITSMaxDegree int
+}
+
+// WithDefaults returns p with zero fields replaced by the defaults.
+func (p AdaptivePolicy) WithDefaults() AdaptivePolicy {
+	if p.MinSteps == 0 {
+		p.MinSteps = 32
+	}
+	if p.ExactFactor == 0 {
+		p.ExactFactor = 1
+	}
+	if p.ITSMaxDegree == 0 {
+		p.ITSMaxDegree = 8
+	}
+	return p
+}
+
+// DecideDynamic returns the mode a dynamic-walk vertex of the given degree
+// should use, given its accumulated counts and current mode. Switches are
+// sticky: once a vertex has demonstrated a loose envelope the exact scan is
+// kept, avoiding mode flapping (a tightened envelope resets the engine's
+// cells and modes out of band).
+func (p AdaptivePolicy) DecideDynamic(deg int, steps, trials uint32, cur Mode) Mode {
+	if cur == ModeExact || steps < p.MinSteps || deg == 0 {
+		return cur
+	}
+	if float64(trials) > p.ExactFactor*float64(deg)*float64(steps) {
+		return ModeExact
+	}
+	return cur
+}
+
+// DecideStatic returns the static proposal structure a hot vertex of the
+// given degree should use: ITS at or below ITSMaxDegree, alias above it.
+// Vertices without MinSteps observations keep their current mode.
+func (p AdaptivePolicy) DecideStatic(deg int, steps uint32, cur Mode) Mode {
+	if p.ITSMaxDegree < 0 || steps < p.MinSteps || deg == 0 {
+		return cur
+	}
+	if deg <= p.ITSMaxDegree {
+		return ModeITS
+	}
+	return ModeAlias
+}

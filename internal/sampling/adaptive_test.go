@@ -1,0 +1,165 @@
+package sampling
+
+import (
+	"testing"
+
+	"knightking/internal/rng"
+)
+
+func TestTrialCellPacking(t *testing.T) {
+	var c TrialCell
+	c.Record(3)
+	c.Record(3)
+	c.Record(1)
+	steps, trials := c.Load()
+	if steps != 3 || trials != 7 {
+		t.Fatalf("Load = (%d, %d), want (3, 7)", steps, trials)
+	}
+	c.Reset()
+	if s, tr := c.Load(); s != 0 || tr != 0 {
+		t.Fatalf("after Reset: (%d, %d)", s, tr)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		ModeAuto: "auto", ModeRejection: "rejection", ModeAlias: "alias",
+		ModeITS: "its", ModeExact: "exact", Mode(99): "invalid",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := AdaptivePolicy{}.WithDefaults()
+	if p.MinSteps != 32 || p.ExactFactor != 1 || p.ITSMaxDegree != 8 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	// Negative ITSMaxDegree (disable) must survive WithDefaults.
+	if p := (AdaptivePolicy{ITSMaxDegree: -1}).WithDefaults(); p.ITSMaxDegree != -1 {
+		t.Fatalf("ITSMaxDegree=-1 overwritten to %d", p.ITSMaxDegree)
+	}
+}
+
+func TestDecideDynamic(t *testing.T) {
+	p := AdaptivePolicy{}.WithDefaults()
+	// Below MinSteps: no decision regardless of trials.
+	if m := p.DecideDynamic(4, 10, 1000, ModeAuto); m != ModeAuto {
+		t.Fatalf("below MinSteps switched to %v", m)
+	}
+	// Loose envelope: trials/step > degree → exact scan.
+	if m := p.DecideDynamic(4, 100, 401, ModeAuto); m != ModeExact {
+		t.Fatalf("loose envelope kept %v", m)
+	}
+	// Tight envelope: stays.
+	if m := p.DecideDynamic(4, 100, 399, ModeAuto); m != ModeAuto {
+		t.Fatalf("tight envelope switched to %v", m)
+	}
+	// Sticky: once exact, always exact (even with clean counts).
+	if m := p.DecideDynamic(4, 100, 100, ModeExact); m != ModeExact {
+		t.Fatalf("exact flapped back to %v", m)
+	}
+	// ExactFactor scales the threshold.
+	p2 := AdaptivePolicy{ExactFactor: 2}.WithDefaults()
+	if m := p2.DecideDynamic(4, 100, 401, ModeAuto); m != ModeAuto {
+		t.Fatalf("ExactFactor=2 switched at factor-1 threshold")
+	}
+	if m := p2.DecideDynamic(4, 100, 801, ModeAuto); m != ModeExact {
+		t.Fatalf("ExactFactor=2 did not switch past its threshold")
+	}
+}
+
+func TestDecideStatic(t *testing.T) {
+	p := AdaptivePolicy{}.WithDefaults()
+	if m := p.DecideStatic(6, 100, ModeAlias); m != ModeITS {
+		t.Fatalf("low degree: %v, want ITS", m)
+	}
+	if m := p.DecideStatic(9, 100, ModeITS); m != ModeAlias {
+		t.Fatalf("high degree: %v, want alias", m)
+	}
+	if m := p.DecideStatic(6, 10, ModeAlias); m != ModeAlias {
+		t.Fatalf("below MinSteps switched to %v", m)
+	}
+	disabled := AdaptivePolicy{ITSMaxDegree: -1}.WithDefaults()
+	if m := disabled.DecideStatic(6, 100, ModeAlias); m != ModeAlias {
+		t.Fatalf("disabled policy switched to %v", m)
+	}
+}
+
+// TestSharedUniform: the cache must hand out one instance per n, sampling
+// exactly like NewUniform (same stream consumption, same values).
+func TestSharedUniform(t *testing.T) {
+	if SharedUniform(5) != SharedUniform(5) {
+		t.Fatal("SharedUniform(5) returned distinct instances")
+	}
+	if SharedUniform(5) == SharedUniform(6) {
+		t.Fatal("distinct n shared an instance")
+	}
+	a, b := rng.NewStream(1, 2), rng.NewStream(1, 2)
+	shared, fresh := SharedUniform(7), NewUniform(7)
+	for i := 0; i < 1000; i++ {
+		if x, y := shared.Sample(a), fresh.Sample(b); x != y {
+			t.Fatalf("draw %d: shared %d, fresh %d", i, x, y)
+		}
+	}
+	if shared.N() != 7 || shared.Total() != 7 || shared.WeightAt(3) != 1 {
+		t.Fatal("shared uniform accessors wrong")
+	}
+}
+
+// TestITSResetFloat64 pins the in-place rebuild against fresh construction:
+// identical sampling sequence, reused backing.
+func TestITSResetFloat64(t *testing.T) {
+	var s ITS
+	if err := s.ResetFloat64([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with different weights in place.
+	weights := []float64{4, 1, 0.5, 2}
+	if err := s.ResetFloat64(weights); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewITSFromFloat64(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rng.NewStream(3, 4), rng.NewStream(3, 4)
+	for i := 0; i < 2000; i++ {
+		if x, y := s.Sample(a), fresh.Sample(b); x != y {
+			t.Fatalf("draw %d: reset %d, fresh %d", i, x, y)
+		}
+	}
+	if s.N() != 4 || s.Total() != fresh.Total() {
+		t.Fatalf("reset ITS accessors: N=%d Total=%v", s.N(), s.Total())
+	}
+	// Zero-alloc steady state: rebuilding with same-length weights reuses
+	// the cdf backing.
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.ResetFloat64(weights); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ResetFloat64 allocates %.1f per rebuild, want 0", allocs)
+	}
+}
+
+// TestRejectionReset pins the in-place dartboard initializer against
+// NewRejection: identical proposals from identical streams.
+func TestRejectionReset(t *testing.T) {
+	static := NewUniform(6)
+	apps := []Appendix{{WidthUB: 1, HeightUB: 0.5, Tag: 1}}
+	var slab Rejection
+	slab.Reset(static, 2.0, 0.5, apps)
+	fresh := NewRejection(static, 2.0, 0.5, apps)
+	a, b := rng.NewStream(5, 6), rng.NewStream(5, 6)
+	for i := 0; i < 1000; i++ {
+		pa, pb := slab.Propose(a), fresh.Propose(b)
+		if pa != pb {
+			t.Fatalf("draw %d: slab %+v, fresh %+v", i, pa, pb)
+		}
+	}
+}

@@ -72,6 +72,16 @@ type Proposal struct {
 // (0 to disable), and appendices declare the outliers. Panics on invalid
 // geometry, which would silently bias sampling.
 func NewRejection(static StaticSampler, upper, lower float64, appendices []Appendix) *Rejection {
+	r := new(Rejection)
+	r.Reset(static, upper, lower, appendices)
+	return r
+}
+
+// Reset initializes r in place — the arena form of NewRejection, for
+// callers that build one dartboard per vertex into a contiguous slab
+// instead of allocating each board individually. Same validation and
+// panics as NewRejection.
+func (r *Rejection) Reset(static StaticSampler, upper, lower float64, appendices []Appendix) {
 	if static == nil || static.N() == 0 {
 		panic("sampling: rejection over zero edges")
 	}
@@ -81,7 +91,7 @@ func NewRejection(static StaticSampler, upper, lower float64, appendices []Appen
 	if !(lower >= 0) || lower > upper {
 		panic(fmt.Sprintf("sampling: lower bound L = %v outside [0, Q=%v]", lower, upper))
 	}
-	r := &Rejection{
+	*r = Rejection{
 		static:     static,
 		upper:      upper,
 		lower:      lower,
@@ -96,7 +106,6 @@ func NewRejection(static StaticSampler, upper, lower float64, appendices []Appen
 		}
 		r.totalArea += a.WidthUB * a.HeightUB
 	}
-	return r
 }
 
 // Propose throws one dart and returns the candidate.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"knightking/internal/rng"
 )
@@ -39,6 +40,36 @@ func NewUniform(n int) *Uniform {
 		panic(fmt.Sprintf("sampling: NewUniform(%d)", n))
 	}
 	return &Uniform{n: n}
+}
+
+// uniformCache backs SharedUniform: Uniform is immutable and parameterized
+// only by n, so one instance per item count serves every caller.
+var uniformCache struct {
+	mu sync.Mutex
+	by []*Uniform
+}
+
+// SharedUniform returns a process-shared uniform sampler over n items,
+// equivalent to NewUniform(n) but served from a cache so that building
+// per-vertex sampler tables for an unweighted graph allocates nothing per
+// vertex. Safe for concurrent use; n must be positive.
+func SharedUniform(n int) *Uniform {
+	if n <= 0 {
+		panic(fmt.Sprintf("sampling: SharedUniform(%d)", n))
+	}
+	uniformCache.mu.Lock()
+	defer uniformCache.mu.Unlock()
+	if n >= len(uniformCache.by) {
+		grown := make([]*Uniform, n+1)
+		copy(grown, uniformCache.by)
+		uniformCache.by = grown
+	}
+	u := uniformCache.by[n]
+	if u == nil {
+		u = &Uniform{n: n}
+		uniformCache.by[n] = u
+	}
+	return u
 }
 
 // Sample returns a uniform index in [0, n).
@@ -198,6 +229,33 @@ func NewITSFromFloat64(weights []float64) (*ITS, error) {
 		return nil, fmt.Errorf("sampling: weights sum to %v", sum)
 	}
 	return &ITS{cdf: cdf, weights: weights}, nil
+}
+
+// ResetFloat64 rebuilds s in place over float64 weights, reusing the CDF
+// backing array: sampling behavior is identical to a fresh
+// NewITSFromFloat64, with no allocation once capacity is warm. The weights
+// slice is retained until the next Reset, so callers reusing a scratch
+// slice must finish sampling before overwriting it.
+func (s *ITS) ResetFloat64(weights []float64) error {
+	n := len(weights)
+	if n == 0 {
+		return fmt.Errorf("sampling: ITS over zero items")
+	}
+	cdf := s.cdf[:0]
+	sum := 0.0
+	for i, x := range weights {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("sampling: invalid weight %v at %d", x, i)
+		}
+		sum += x
+		cdf = append(cdf, sum)
+	}
+	if !(sum > 0) {
+		return fmt.Errorf("sampling: weights sum to %v", sum)
+	}
+	s.cdf = cdf
+	s.weights = weights
+	return nil
 }
 
 // Sample draws x in [0, total) and returns the smallest i with cdf[i] > x,

@@ -34,10 +34,30 @@ var ErrTimeout = errors.New("transport: deadline exceeded")
 
 // Message is one routed unit. Kind discriminates payload encodings at the
 // layer above; the transport treats Payload as opaque bytes.
+//
+// Local, when non-nil, is an object delivered zero-copy within a shared
+// address space (see LocalSender); Payload is nil for such messages.
+// Ownership of the object transfers to the receiving rank at delivery.
 type Message struct {
 	From    int
 	Kind    uint8
 	Payload []byte
+	Local   any
+}
+
+// LocalSender is optionally implemented by endpoints whose whole group
+// shares one address space (the in-process group): SendLocal enqueues an
+// arbitrary object for zero-copy delivery at the next Exchange, skipping
+// serialization entirely. Ownership of obj transfers to the receiving
+// rank. Wrapping endpoints (observer, exchange-timeout, fault injection)
+// deliberately do not implement it, so a caller's type assertion fails
+// whenever a wrapper intervenes and the caller falls back to byte
+// payloads — which keeps wrapped runs exercising the wire codec.
+type LocalSender interface {
+	// SendLocal buffers obj for delivery to rank `to` at the next
+	// Exchange. Safe for concurrent use. The object must not be mutated
+	// after the call.
+	SendLocal(to int, kind uint8, obj any)
 }
 
 // Endpoint is one rank's handle on the group.
@@ -212,16 +232,26 @@ func (e *inprocEndpoint) Rank() int { return e.rank }
 func (e *inprocEndpoint) Size() int { return e.g.n }
 
 func (e *inprocEndpoint) Send(to int, kind uint8, payload []byte) {
+	e.enqueue(to, Message{From: e.rank, Kind: kind, Payload: payload})
+	e.sentByte.Add(int64(len(payload)))
+}
+
+// SendLocal implements LocalSender: ranks of an in-process group share the
+// process address space, so objects are delivered by reference. No bytes
+// cross any wire, so only the message count is accounted.
+func (e *inprocEndpoint) SendLocal(to int, kind uint8, obj any) {
+	e.enqueue(to, Message{From: e.rank, Kind: kind, Local: obj})
+}
+
+func (e *inprocEndpoint) enqueue(to int, m Message) {
 	if to < 0 || to >= e.g.n {
 		panic(fmt.Sprintf("transport: send to rank %d of %d", to, e.g.n))
 	}
-	m := Message{From: e.rank, Kind: kind, Payload: payload}
 	g := e.g
 	g.mu.Lock()
 	g.outbox[e.rank][to] = append(g.outbox[e.rank][to], m)
 	g.mu.Unlock()
 	e.sentMsgs.Add(1)
-	e.sentByte.Add(int64(len(payload)))
 }
 
 func (e *inprocEndpoint) Exchange() ([]Message, error) {
@@ -234,12 +264,19 @@ func (e *inprocEndpoint) Exchange() ([]Message, error) {
 	myRound := g.round
 	g.arrived++
 	if g.arrived == g.n {
-		// Last to arrive performs the all-to-all delivery.
+		// Last to arrive performs the all-to-all delivery. Every rank is
+		// inside Exchange at this point, so by the ownership contract the
+		// previous round's inbox slices are reclaimable: delivery rebuilds
+		// each rank's inbox on its retained backing, and the drained outbox
+		// queues likewise keep their capacity (entries cleared so stale
+		// payload references don't pin memory).
 		for to := 0; to < g.n; to++ {
-			var msgs []Message
+			msgs := g.inbox[to][:0]
 			for from := 0; from < g.n; from++ {
-				msgs = append(msgs, g.outbox[from][to]...)
-				g.outbox[from][to] = nil
+				q := g.outbox[from][to]
+				msgs = append(msgs, q...)
+				clear(q)
+				g.outbox[from][to] = q[:0]
 			}
 			g.inbox[to] = msgs
 		}
@@ -259,9 +296,10 @@ func (e *inprocEndpoint) Exchange() ([]Message, error) {
 			return nil, fmt.Errorf("transport: group closed during exchange")
 		}
 	}
-	msgs := g.inbox[e.rank]
-	g.inbox[e.rank] = nil
-	return msgs, nil
+	// The slice stays in g.inbox for the next delivery to rebuild on; it is
+	// the caller's to read only until its next Exchange call, which is
+	// exactly the documented payload-ownership window.
+	return g.inbox[e.rank], nil
 }
 
 func (e *inprocEndpoint) Stats() (int64, int64) {
