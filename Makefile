@@ -35,6 +35,7 @@ bench-record:
 	go test -run=NONE -bench 'BenchmarkTCPExchangeManySmall|BenchmarkTCPExchange2x64KB|BenchmarkInProcExchange4x64KB' -benchmem -count=3 ./internal/transport/
 	go test -run=NONE -bench 'BenchmarkEngineDeepWalk4Nodes|BenchmarkEngineNode2Vec4Nodes' -benchmem ./internal/core/
 	go test -run=NONE -bench 'BenchmarkIngest|BenchmarkSamplerUpdate|BenchmarkCompact' -benchmem ./internal/dyngraph/
+	go test -run=NONE -bench 'DeepWalk4Nodes|BenchmarkRingPut|BenchmarkExchangePeers|BenchmarkWritePerfetto' -benchmem ./internal/obs/tracelog/
 	go run ./cmd/kkbench -report
 
 # The benchmark set the CI trend job tracks continuously (engine steps/sec

@@ -21,11 +21,13 @@
 //	GET    /jobs                   all retained jobs
 //	GET    /jobs/{id}              status (includes the pinned epoch)
 //	GET    /jobs/{id}/result       walk report (done jobs)
+//	GET    /jobs/{id}/trace        Perfetto JSON causal trace (jobs submitted with "trace": true)
 //	DELETE /jobs/{id}              cancel, or discard a terminal job's record
 //	GET    /metrics /statusz /healthz /debug/pprof
 //
-// SIGINT/SIGTERM shuts down cleanly: in-flight jobs are cancelled at
-// their next superstep barrier before the process exits.
+// SIGINT/SIGTERM shuts down cleanly: the HTTP server drains in-flight
+// requests (bounded), and in-flight jobs are cancelled at their next
+// superstep barrier before the process exits.
 package main
 
 import (

@@ -16,12 +16,16 @@
 //	kkwalk -graph g.txt -alg node2vec -checkpoint-dir ckpt -checkpoint-every 16
 //	kkwalk -graph g.txt -alg node2vec -checkpoint-dir ckpt -resume
 //
-// Telemetry: -admin-addr serves live /metrics, /statusz, and /debug/pprof
-// while the run is in flight; -spans streams per-superstep phase traces as
-// JSONL; -json replaces the human summary with exactly one machine-parseable
-// report line on stdout:
+// Telemetry: -admin-addr serves live /metrics, /statusz, /trace, and
+// /debug/pprof while the run is in flight; -spans streams per-superstep
+// phase traces as JSONL; -trace records a causal trace (superstep/phase
+// spans, exchange peer attribution, sampled walker journeys) and writes it
+// as Perfetto JSON — open the file at https://ui.perfetto.dev; -json
+// replaces the human summary with exactly one machine-parseable report
+// line on stdout:
 //
 //	kkwalk -graph g.txt -alg node2vec -admin-addr localhost:6060 -spans spans.jsonl
+//	kkwalk -graph g.txt -alg node2vec -trace trace.json -trace-sample 64
 //	kkwalk -graph g.txt -alg node2vec -quiet -json | jq .edges_per_step
 package main
 
@@ -42,6 +46,7 @@ import (
 	"knightking/internal/core"
 	"knightking/internal/graph"
 	"knightking/internal/obs"
+	"knightking/internal/obs/tracelog"
 	"knightking/internal/sampling"
 	"knightking/internal/stats"
 	"knightking/internal/transport"
@@ -78,8 +83,10 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "snapshot walk state into this directory")
 		ckptEvery  = flag.Int("checkpoint-every", 16, "supersteps between checkpoints")
 		resume     = flag.Bool("resume", false, "resume from the latest complete checkpoint in -checkpoint-dir")
-		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /statusz, and /debug/pprof on this host:port while running")
+		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /statusz, /trace, and /debug/pprof on this host:port while running")
 		spansPath  = flag.String("spans", "", "stream per-superstep span records to this file as JSONL (- = stderr)")
+		tracePath  = flag.String("trace", "", "write the causal trace (Perfetto JSON) to this file (- = stdout)")
+		traceEvery = flag.Int64("trace-sample", 0, "trace one in N walker journeys by walker ID (0 = default 64; requires -trace)")
 		jsonOut    = flag.Bool("json", false, "print the end-of-run report as exactly one JSON line on stdout")
 		quiet      = flag.Bool("quiet", false, "suppress the human-readable summary and progress lines on stderr")
 	)
@@ -87,8 +94,14 @@ func main() {
 	if *graphPath == "" {
 		fatalf("-graph is required")
 	}
-	if *jsonOut && (*dump == "-" || *visits == "-") {
-		fatalf("-json owns stdout; write -dump/-visits to a file instead of -")
+	if *jsonOut && (*dump == "-" || *visits == "-" || *tracePath == "-") {
+		fatalf("-json owns stdout; write -dump/-visits/-trace to a file instead of -")
+	}
+	if *traceEvery != 0 && *tracePath == "" {
+		fatalf("-trace-sample requires -trace")
+	}
+	if *traceEvery < 0 {
+		fatalf("-trace-sample must be non-negative")
 	}
 
 	progressf := func(format string, args ...interface{}) {
@@ -101,7 +114,7 @@ func main() {
 	// registry implements every engine hook, so wiring it below is the whole
 	// integration; runs without these flags pay only nil-observer branches.
 	var reg *obs.Registry
-	if *adminAddr != "" || *spansPath != "" || *jsonOut {
+	if *adminAddr != "" || *spansPath != "" || *jsonOut || *tracePath != "" {
 		reg = obs.NewRegistry(nil)
 	}
 
@@ -210,6 +223,19 @@ func main() {
 		reg.SetRunInfo(program.Name, g.NumVertices(), g.NumEdges(), ranks)
 	}
 
+	// The trace collector rides the registry for span/exchange events (the
+	// registry forwards) and hooks the engine directly for walker journeys.
+	var tc *tracelog.Collector
+	if *tracePath != "" {
+		tc = tracelog.New(tracelog.Options{
+			SampleEvery: *traceEvery,
+			Ranks:       ranks,
+			Job:         program.Name,
+		})
+		reg.SetTrace(tc)
+		cfg.Trace = tc
+	}
+
 	var spansFlush func()
 	if *spansPath != "" {
 		out := os.Stderr
@@ -239,8 +265,10 @@ func main() {
 		if aerr != nil {
 			fatalf("%v", aerr)
 		}
-		defer srv.Close()
-		progressf("admin server on http://%s (/metrics /statusz /debug/pprof)\n", srv.Addr())
+		// Graceful close: an in-flight scrape or trace export racing process
+		// exit completes instead of seeing a reset connection.
+		defer srv.Shutdown(0)
+		progressf("admin server on http://%s (/metrics /statusz /trace /debug/pprof)\n", srv.Addr())
 	}
 
 	if *resume && *ckptDir == "" {
@@ -321,6 +349,29 @@ func main() {
 	}
 	if spansFlush != nil {
 		spansFlush()
+	}
+	if tc != nil {
+		out := os.Stdout
+		if *tracePath != "-" {
+			tf, terr := os.Create(*tracePath)
+			if terr != nil {
+				fatalf("create trace: %v", terr)
+			}
+			out = tf
+		}
+		w := bufio.NewWriter(out)
+		if terr := tc.WritePerfetto(w); terr != nil {
+			fatalf("write trace: %v", terr)
+		}
+		if terr := w.Flush(); terr != nil {
+			fatalf("write trace: %v", terr)
+		}
+		if out != os.Stdout {
+			if terr := out.Close(); terr != nil {
+				fatalf("close trace: %v", terr)
+			}
+		}
+		progressf("trace written to %s (open at https://ui.perfetto.dev)\n", *tracePath)
 	}
 
 	// res.Counters is the post-join snapshot Run/RunNode took after every

@@ -146,6 +146,13 @@ type Config struct {
 	// telemetry; observations never touch walker RNG streams, so enabling
 	// it cannot change walk output.
 	Observer Observer
+	// Trace receives the causal trace of the run: the step decisions, rank
+	// migrations, and rejection trial counts of deterministically sampled
+	// walkers (see trace.go). Nil disables tracing at the cost of one
+	// branch per hook; like Observer, trace hooks never touch walker RNG
+	// streams, so enabling tracing cannot change walk output.
+	// internal/obs/tracelog.Collector is the production implementation.
+	Trace Tracer
 	// PartitionAlpha weighs vertices against edges in the 1-D partitioner
 	// (default 1, the paper's |V|+|E| balance).
 	PartitionAlpha float64
@@ -566,6 +573,14 @@ type node struct {
 	stepMove      int64
 	stepUpdate    int64
 
+	// tracer receives sampled walker journeys when Config.Trace is set
+	// (see trace.go); curIter is the running superstep number stamped on
+	// each event. The loop goroutine writes curIter before phase A's
+	// workers launch and they all join before the next write, so workers
+	// read it race-free.
+	tracer  Tracer
+	curIter int32
+
 	// ownsResult marks the node whose snapshot segments carry the process's
 	// result sinks (paths, visits, histogram) and counters: rank 0 under
 	// Run (sinks are process-shared), every rank under RunNode.
@@ -591,6 +606,7 @@ func newNode(rank int, cfg *Config, part *cluster.Partition, ep transport.Endpoi
 		awaiting:   make(map[int64]*Walker),
 		ownsResult: ownsResult,
 		obs:        cfg.Observer,
+		tracer:     cfg.Trace,
 	}
 	n.lo, n.hi = part.Range(rank)
 	n.interleaved = cfg.Stepping != SteppingScalar
@@ -860,6 +876,7 @@ func (n *node) run() (iterations, lightIters int, err error) {
 	}
 	for {
 		iterations++
+		n.curIter = int32(iterations)
 		if iterations > n.cfg.MaxIterations {
 			return iterations, lightIters, fmt.Errorf("core: exceeded %d supersteps; walk not converging", n.cfg.MaxIterations)
 		}
@@ -1313,8 +1330,14 @@ func (n *node) decideStep(w *Walker, deg int, smp sampling.StaticSampler, rj *sa
 func (n *node) applyAction(w *Walker, act action, edgeIdx int, st *workerState) bool {
 	switch act {
 	case actYield:
+		if n.tracer != nil {
+			n.traceWalkerEvent(w, WalkerYield, w.Cur, 0, -1)
+		}
 		return true
 	case actFinish:
+		if n.tracer != nil {
+			n.traceWalkerEvent(w, WalkerFinish, w.Cur, 0, -1)
+		}
 		n.finish(w, st)
 		return false
 	case actMove:
@@ -1323,9 +1346,15 @@ func (n *node) applyAction(w *Walker, act action, edgeIdx int, st *workerState) 
 		return n.relocate(w, dst, st)
 	case actTeleport:
 		// A restart counts a step of walk length but not an edge traversal.
+		if n.tracer != nil {
+			n.traceWalkerEvent(w, WalkerTeleport, w.Cur, 0, -1)
+		}
 		st.counters.restarts++
 		return n.relocate(w, w.Origin, st)
 	case actPark:
+		if n.tracer != nil {
+			n.traceWalkerEvent(w, WalkerPark, w.pendingTarget, 0, -1)
+		}
 		st.out.addQuery(n.part.Owner(w.pendingTarget), w.ID, w.pendingTarget, w.pendingArg)
 		st.counters.queries++
 		st.parked = append(st.parked, w)
@@ -1334,14 +1363,20 @@ func (n *node) applyAction(w *Walker, act action, edgeIdx int, st *workerState) 
 	panic(fmt.Sprintf("core: unknown step action %d", act))
 }
 
-// observeStep reports an accepted step's trial burst to telemetry and the
-// adaptation cells; neither consumes walker RNG.
+// observeStep reports an accepted step's trial burst to telemetry, the
+// adaptation cells, and (for sampled walkers) the causal trace; none
+// consumes walker RNG. The trace event fires at acceptance, while the
+// walker still resides at the deciding vertex, so every stepping strategy
+// and the phase-C resolution path emit through this one site.
 func (n *node) observeStep(w *Walker, obsTrials int64, cellTrials uint32) {
 	if n.obs != nil {
 		n.obs.ObserveStepTrials(obsTrials)
 	}
 	if n.adapt != nil {
 		n.adapt.record(w.Cur-n.lo, cellTrials)
+	}
+	if n.tracer != nil {
+		n.traceWalkerEvent(w, WalkerStep, w.Cur, int32(obsTrials), -1)
 	}
 }
 
@@ -1400,6 +1435,9 @@ func (n *node) relocate(w *Walker, dst graph.VertexID, st *workerState) bool {
 	}
 	if n.part.Owns(n.rank, dst) {
 		return true
+	}
+	if n.tracer != nil {
+		n.traceWalkerEvent(w, WalkerMigrate, dst, 0, n.part.Owner(dst))
 	}
 	if n.localMig != nil {
 		// Object-path migration: the walker itself transfers to the

@@ -25,6 +25,12 @@ package core
 //     barrier; a rank consistently high here is a straggler's victim, not
 //     the straggler itself.
 type SuperstepSpan struct {
+	// V is the JSONL encoding's schema version. The engine leaves it zero;
+	// internal/obs stamps obs.SpanSchemaVersion when it encodes spans to a
+	// -spans sink, so consumers of the JSONL stream can evolve safely.
+	// (Records written before versioning existed carry no v field; readers
+	// should treat a missing v as version 1.)
+	V int `json:"v,omitempty"`
 	// Rank is the emitting rank.
 	Rank int `json:"rank"`
 	// Iteration is the 1-based superstep index.

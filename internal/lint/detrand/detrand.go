@@ -56,6 +56,10 @@ var DefaultPackages = map[string]bool{
 	// of delta segments (or timestamping an epoch) would leak
 	// nondeterminism into every walk on that epoch.
 	"knightking/internal/dyngraph": true,
+	// tracelog hooks directly into the engine's step loop (core.Tracer),
+	// so it is held to the same standard as core: its timestamps are
+	// telemetry-only and each wall-clock read carries a reviewed waiver.
+	"knightking/internal/obs/tracelog": true,
 }
 
 // forbiddenImports are the ambient randomness sources. No waiver: a

@@ -9,8 +9,21 @@ import (
 	"time"
 
 	"knightking/internal/core"
+	"knightking/internal/obs/tracelog"
 	"knightking/internal/stats"
+	"knightking/internal/transport"
 )
+
+// SpanSchemaVersion is the version stamped into the v field of every
+// span the registry encodes to a -spans JSONL sink. History:
+//
+//	(absent) — the pre-versioning encoding (PR 3); readers should treat
+//	           a missing v as version 1.
+//	2        — adds the v field itself (encoding otherwise unchanged).
+//
+// Bump it whenever a field is added, removed, or changes meaning, and
+// update the golden encoding test in span_golden_test.go.
+const SpanSchemaVersion = 2
 
 // Registry is the run-wide telemetry hub: the engine histograms, the
 // per-superstep span log, and the live state the admin server exposes. It
@@ -61,6 +74,11 @@ type Registry struct {
 	spanEnc      *json.Encoder
 	rankExchange map[int]int64
 	rankCompute  map[int]int64
+
+	// trace, when set, receives every span and exchange-peer observation
+	// the registry sees, building the run's causal trace alongside the
+	// aggregates (see SetTrace).
+	trace atomic.Pointer[tracelog.Collector]
 }
 
 // NewRegistry creates a registry reading live counter values from c (a new
@@ -97,6 +115,15 @@ func (r *Registry) SetRunInfo(algorithm string, vertices int, edges int64, ranks
 	r.metaMu.Unlock()
 }
 
+// SetTrace attaches a causal-trace collector: the registry forwards every
+// superstep span and per-peer exchange observation to it, and /statusz and
+// FillReport pick up its critical-path summary. Wire the same collector
+// into core.Config.Trace for walker journeys. Call before the run starts.
+func (r *Registry) SetTrace(c *tracelog.Collector) { r.trace.Store(c) }
+
+// Trace returns the attached collector, or nil.
+func (r *Registry) Trace() *tracelog.Collector { return r.trace.Load() }
+
 // SetSpanWriter streams every span to w as one JSON object per line, in
 // arrival order, as the run progresses (a crash loses at most the spans
 // the OS had not flushed). Call before the run starts.
@@ -110,6 +137,12 @@ func (r *Registry) SetSpanWriter(w io.Writer) {
 // streams it to the span writer, folds the phase durations into the
 // per-rank totals behind StragglerSkew, and refreshes the live gauges.
 func (r *Registry) OnSuperstep(span core.SuperstepSpan) {
+	// Stamp the encoding schema version on the registry's own copy; the
+	// engine's span value is never touched.
+	span = stampVersion(span)
+	if c := r.trace.Load(); c != nil {
+		c.OnSuperstep(span)
+	}
 	if int64(span.Iteration) > r.superstep.Load() {
 		r.superstep.Store(int64(span.Iteration))
 		r.activeWalkers.Store(span.GlobalWalkers)
@@ -133,6 +166,12 @@ func (r *Registry) OnSuperstep(span core.SuperstepSpan) {
 	r.spanMu.Unlock()
 }
 
+// stampVersion returns sp with the JSONL schema version set.
+func stampVersion(sp core.SuperstepSpan) core.SuperstepSpan {
+	sp.V = SpanSchemaVersion
+	return sp
+}
+
 // ObserveStepTrials implements core.Observer.
 func (r *Registry) ObserveStepTrials(trials int64) { r.TrialsPerStep.Observe(trials) }
 
@@ -146,6 +185,16 @@ func (r *Registry) ObserveExchange(d time.Duration, messages int, bytes int64) {
 
 // ObserveFramePayload implements transport.Observer.
 func (r *Registry) ObserveFramePayload(bytes int) { r.FramePayload.Observe(int64(bytes)) }
+
+// ObserveExchangePeers implements transport.ExchangePeerObserver by
+// forwarding to the attached trace collector (a no-op without one), so a
+// registry-observed run gets exchange spans with peer attribution in its
+// trace for free.
+func (r *Registry) ObserveExchangePeers(rank int, d time.Duration, msgs []transport.Message) {
+	if c := r.trace.Load(); c != nil {
+		c.ObserveExchangePeers(rank, d, msgs)
+	}
+}
 
 // ObserveCheckpointSegment matches checkpoint.Store's Observe hook.
 func (r *Registry) ObserveCheckpointSegment(rank int, bytes int64, d time.Duration) {
@@ -201,6 +250,9 @@ func skew(perRank map[int]int64) float64 {
 // by stats.NewReport.
 func (r *Registry) FillReport(rep *stats.Report) {
 	rep.StragglerSkew = r.StragglerSkew()
+	if c := r.trace.Load(); c != nil {
+		rep.CriticalPath = c.CriticalPath()
+	}
 }
 
 // StageNanos is the cross-rank breakdown of the interleaved stepping
@@ -246,6 +298,7 @@ type Status struct {
 	Stages        StageNanos                 `json:"stages"`
 	Counters      stats.Snapshot             `json:"counters"`
 	Histograms    map[string]HistogramStatus `json:"histograms"`
+	Trace         *tracelog.Status           `json:"trace,omitempty"`
 }
 
 // Status snapshots the live run state. Mid-run values follow the Counters
@@ -271,6 +324,10 @@ func (r *Registry) Status() Status {
 	r.spanMu.Lock()
 	st.Spans = len(r.spans)
 	r.spanMu.Unlock()
+	if c := r.trace.Load(); c != nil {
+		ts := c.StatusSnapshot()
+		st.Trace = &ts
+	}
 	st.Histograms = make(map[string]HistogramStatus, 6)
 	for _, h := range r.Histograms() {
 		s := h.Snapshot()

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -14,6 +16,7 @@ import (
 //
 //	/metrics      Prometheus text exposition of counters, gauges, histograms
 //	/statusz      JSON snapshot of the live superstep/walker/light-mode state
+//	/trace        Perfetto JSON of the causal trace (404 without SetTrace)
 //	/debug/pprof  the standard Go profiler endpoints
 //	/             a plain-text index of the above
 //
@@ -42,7 +45,7 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "knightking admin\n\n/metrics\n/statusz\n/debug/pprof/\n")
+		fmt.Fprint(w, "knightking admin\n\n/metrics\n/statusz\n/trace\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -57,6 +60,17 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reg.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		c := reg.Trace()
+		if c == nil {
+			http.Error(w, "tracing is not enabled for this run (kkwalk -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := c.WritePerfetto(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -78,5 +92,26 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// DefaultShutdownTimeout bounds Shutdown's graceful drain.
+const DefaultShutdownTimeout = 5 * time.Second
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests (a /metrics scrape racing process exit, a long /trace export)
+// to complete, up to timeout (DefaultShutdownTimeout when non-positive).
+// Connections still open after the deadline are dropped.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return s.srv.Close()
+	}
+	return err
+}
+
 // Close stops the server immediately; in-flight scrapes are dropped.
+// Prefer Shutdown on orderly exits.
 func (s *Server) Close() error { return s.srv.Close() }

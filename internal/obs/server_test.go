@@ -5,7 +5,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string, string) {
@@ -74,5 +76,69 @@ func TestAdminServer(t *testing.T) {
 	}
 	if code, _, _ := get(t, base+"/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestAdminServerTraceEndpoint(t *testing.T) {
+	reg := goldenRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Without a collector the endpoint 404s with a hint.
+	code, _, body := get(t, base+"/trace")
+	if code != http.StatusNotFound || !strings.Contains(body, "-trace") {
+		t.Fatalf("/trace without collector: status %d body %q", code, body)
+	}
+}
+
+// TestShutdownDrainsInflightScrape pins graceful close: a scrape in
+// flight when Shutdown begins completes with a full response, and the
+// listener refuses connections afterwards.
+func TestShutdownDrainsInflightScrape(t *testing.T) {
+	reg := goldenRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	base := "http://" + srv.Addr()
+
+	// A CPU profile with seconds=1 holds its connection open for a full
+	// second — a genuinely in-flight request while Shutdown runs. The
+	// /metrics scrape alongside it models the fast path.
+	var wg sync.WaitGroup
+	var profileCode, metricsCode int
+	var metricsBody string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		profileCode, _, _ = get(t, base+"/debug/pprof/profile?seconds=1")
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		metricsCode, _, metricsBody = get(t, base+"/metrics")
+	}()
+	time.Sleep(150 * time.Millisecond) // both requests are now in flight or done
+
+	start := time.Now()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if profileCode != http.StatusOK {
+		t.Errorf("in-flight profile status = %d, want 200", profileCode)
+	}
+	if metricsCode != http.StatusOK || !strings.Contains(metricsBody, "kk_steps_total") {
+		t.Errorf("in-flight scrape: status %d, body %q", metricsCode, metricsBody)
+	}
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Errorf("Shutdown returned after %v; it should have drained the 1s profile", waited)
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("listener still accepting after Shutdown")
 	}
 }

@@ -1,0 +1,361 @@
+// Chrome trace-event / Perfetto JSON export of the trace ring.
+//
+// Track model (Perfetto's process → thread → slice-stack hierarchy):
+//
+//	pid 1 "job <name>"
+//	  tid 2r   "rank r"            run → superstep → phase → stage spans
+//	  tid 2r+1 "rank r transport"  real exchange spans + per-peer instants
+//	pid 2 "sampled walkers"
+//	  tid k    "walker <id>"       journey instants (step/migrate/...)
+//
+// Spans are emitted as matched B/E pairs; journeys and peer attributions
+// as "i" instants. Timestamps are microseconds from the collector's
+// epoch; each track's stream is clamped monotonic and children are
+// clamped inside their parents, so the output always nests cleanly even
+// if clock jitter put a measured child a hair outside its parent. The
+// final stream is a stable sort of all tracks by timestamp: globally
+// monotonic, per-track order preserved.
+package tracelog
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-event record. Field order (and the
+// typed Args structs below) keep the encoding deterministic so golden
+// tests can pin it.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	Args any     `json:"args,omitempty"`
+}
+
+type metaArgs struct {
+	Name string `json:"name"`
+}
+
+type superstepArgs struct {
+	LocalWalkers  int64 `json:"local_walkers"`
+	GlobalWalkers int64 `json:"global_walkers"`
+}
+
+type stageArgs struct {
+	CPUNs int64 `json:"cpu_ns"`
+}
+
+type exchangeArgs struct {
+	Bytes int64 `json:"bytes"`
+	Msgs  int64 `json:"msgs"`
+}
+
+type peerArgs struct {
+	From  int   `json:"from"`
+	Bytes int64 `json:"bytes"`
+	Msgs  int64 `json:"msgs"`
+}
+
+type walkerArgs struct {
+	Walker    int64 `json:"walker"`
+	Vertex    int64 `json:"vertex"`
+	Step      int32 `json:"step"`
+	Superstep int32 `json:"superstep"`
+	Rank      int16 `json:"rank"`
+	Trials    int64 `json:"trials,omitempty"`
+}
+
+type migrateArgs struct {
+	Walker    int64 `json:"walker"`
+	Vertex    int64 `json:"vertex"`
+	Step      int32 `json:"step"`
+	Superstep int32 `json:"superstep"`
+	Rank      int16 `json:"rank"`
+	ToRank    int16 `json:"to_rank"`
+}
+
+// perfettoTrace is the exported document.
+type perfettoTrace struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       perfettoOtherData `json:"otherData"`
+}
+
+type perfettoOtherData struct {
+	Job     string `json:"job"`
+	Evicted uint64 `json:"evicted"`
+}
+
+const (
+	pidJob     = 1
+	pidWalkers = 2
+)
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// spanDepth returns a kind's depth in the rank track's span hierarchy,
+// or -1 for kinds that do not live there.
+func spanDepth(k Kind) int {
+	switch k {
+	case KindSuperstep:
+		return 1 // depth 0 is the per-rank run span
+	case KindPhaseCompute, KindPhaseExchange, KindPhaseBarrier, KindPhaseCheckpoint:
+		return 2
+	case KindStageGather, KindStageMove, KindStageUpdate:
+		return 3
+	}
+	return -1
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case KindPhaseCompute:
+		return "compute"
+	case KindPhaseExchange:
+		return "exchange"
+	case KindPhaseBarrier:
+		return "barrier"
+	case KindPhaseCheckpoint:
+		return "checkpoint"
+	case KindStageGather:
+		return "gather"
+	case KindStageMove:
+		return "move"
+	case KindStageUpdate:
+		return "update"
+	case KindWalkerStep:
+		return "step"
+	case KindWalkerFinish:
+		return "finish"
+	case KindWalkerTeleport:
+		return "teleport"
+	case KindWalkerPark:
+		return "park"
+	case KindWalkerYield:
+		return "yield"
+	case KindWalkerMigrate:
+		return "migrate"
+	}
+	return "?"
+}
+
+// trackBuilder emits one (pid, tid) stream with a span stack, clamping
+// children inside parents and the whole stream monotonic.
+type trackBuilder struct {
+	pid, tid int
+	out      *[]traceEvent
+	last     int64 // last emitted ts (ns)
+	stack    []openSpan
+}
+
+type openSpan struct {
+	name  string
+	end   int64
+	depth int
+}
+
+func (t *trackBuilder) emit(name, ph string, ns int64, args any) {
+	if ns < t.last {
+		ns = t.last
+	}
+	t.last = ns
+	*t.out = append(*t.out, traceEvent{Name: name, Ph: ph, TS: usec(ns), Pid: t.pid, Tid: t.tid, Args: args})
+}
+
+func (t *trackBuilder) instant(name string, ns int64, args any) {
+	if ns < t.last {
+		ns = t.last
+	}
+	t.last = ns
+	*t.out = append(*t.out, traceEvent{Name: name, Ph: "i", TS: usec(ns), Pid: t.pid, Tid: t.tid, S: "t", Args: args})
+}
+
+// closeTo pops (emitting E) every open span at depth >= depth.
+func (t *trackBuilder) closeTo(depth int) {
+	for len(t.stack) > 0 && t.stack[len(t.stack)-1].depth >= depth {
+		top := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.emit(top.name, "E", top.end, nil)
+	}
+}
+
+// span opens a [start, start+dur) span at the given depth, first closing
+// anything at that depth or deeper, and clamping the new span inside the
+// surviving parent.
+func (t *trackBuilder) span(name string, depth int, start, dur int64, args any) {
+	t.closeTo(depth)
+	end := start + dur
+	if len(t.stack) > 0 {
+		if p := t.stack[len(t.stack)-1]; end > p.end {
+			end = p.end
+		}
+	}
+	t.emit(name, "B", start, args)
+	if end < t.last {
+		end = t.last
+	}
+	t.stack = append(t.stack, openSpan{name: name, end: end, depth: depth})
+}
+
+// WritePerfetto renders the ring as Chrome trace-event / Perfetto JSON.
+// Safe to call at any time, including mid-run.
+func (c *Collector) WritePerfetto(w io.Writer) error {
+	events, evicted := c.Events()
+
+	// Pass 1: discover the tracks in use.
+	rankSet := map[int16]bool{}      // ranks with superstep spans
+	transportSet := map[int16]bool{} // ranks with exchange events
+	walkerSet := map[int64]bool{}
+	runLo := map[int16]int64{} // per-rank span extent for the run span
+	runHi := map[int16]int64{}
+	for _, ev := range events {
+		switch {
+		case spanDepth(ev.Kind) >= 0:
+			rankSet[ev.Rank] = true
+			if lo, ok := runLo[ev.Rank]; !ok || ev.TS < lo {
+				runLo[ev.Rank] = ev.TS
+			}
+			if hi, ok := runHi[ev.Rank]; !ok || ev.TS+ev.Dur > hi {
+				runHi[ev.Rank] = ev.TS + ev.Dur
+			}
+		case ev.Kind == KindExchange || ev.Kind == KindExchangePeer:
+			transportSet[ev.Rank] = true
+		case ev.Walker >= 0:
+			walkerSet[ev.Walker] = true
+		}
+	}
+	ranks := sortedInt16(rankSet)
+	transports := sortedInt16(transportSet)
+	walkers := make([]int64, 0, len(walkerSet))
+	for id := range walkerSet {
+		walkers = append(walkers, id)
+	}
+	sort.Slice(walkers, func(i, j int) bool { return walkers[i] < walkers[j] })
+	walkerTid := make(map[int64]int, len(walkers))
+	for i, id := range walkers {
+		walkerTid[id] = i
+	}
+
+	out := make([]traceEvent, 0, 2*len(events)+8)
+
+	// Metadata: process and thread names, pinned at ts 0 before the sort.
+	meta := func(name string, pid, tid int, label string) {
+		out = append(out, traceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: metaArgs{Name: label}})
+	}
+	meta("process_name", pidJob, 0, "job "+c.job)
+	for _, r := range ranks {
+		meta("thread_name", pidJob, int(r)*2, itoa(int(r), "rank ", ""))
+	}
+	for _, r := range transports {
+		meta("thread_name", pidJob, int(r)*2+1, itoa(int(r), "rank ", " transport"))
+	}
+	if len(walkers) > 0 {
+		meta("process_name", pidWalkers, 0, "sampled walkers")
+		for _, id := range walkers {
+			meta("thread_name", pidWalkers, walkerTid[id], itoa(int(id), "walker ", ""))
+		}
+	}
+
+	// Pass 2: per-track emission in ring order (which is chronological
+	// within a track: each rank's loop goroutine emits its own spans in
+	// order, and a walker is stepped by one goroutine at a time).
+	rankTrack := map[int16]*trackBuilder{}
+	for _, r := range ranks {
+		tb := &trackBuilder{pid: pidJob, tid: int(r) * 2, out: &out}
+		tb.span("run "+c.job, 0, runLo[r], runHi[r]-runLo[r], nil)
+		rankTrack[r] = tb
+	}
+	transportTrack := map[int16]*trackBuilder{}
+	for _, r := range transports {
+		transportTrack[r] = &trackBuilder{pid: pidJob, tid: int(r)*2 + 1, out: &out}
+	}
+	walkerTrack := map[int64]*trackBuilder{}
+	for _, id := range walkers {
+		walkerTrack[id] = &trackBuilder{pid: pidWalkers, tid: walkerTid[id], out: &out}
+	}
+
+	for _, ev := range events {
+		switch {
+		case ev.Kind == KindSuperstep:
+			rankTrack[ev.Rank].span(itoa(int(ev.Iter), "superstep ", ""), 1, ev.TS, ev.Dur,
+				superstepArgs{LocalWalkers: ev.A, GlobalWalkers: ev.B})
+		case spanDepth(ev.Kind) == 2:
+			rankTrack[ev.Rank].span(kindName(ev.Kind), 2, ev.TS, ev.Dur, nil)
+		case spanDepth(ev.Kind) == 3:
+			rankTrack[ev.Rank].span(kindName(ev.Kind), 3, ev.TS, ev.Dur, stageArgs{CPUNs: ev.A})
+		case ev.Kind == KindExchange:
+			tb := transportTrack[ev.Rank]
+			tb.span("exchange", 0, ev.TS, ev.Dur, exchangeArgs{Bytes: ev.A, Msgs: ev.B})
+			tb.closeTo(0)
+		case ev.Kind == KindExchangePeer:
+			transportTrack[ev.Rank].instant(itoa(int(ev.Peer), "recv rank ", ""), ev.TS,
+				peerArgs{From: int(ev.Peer), Bytes: ev.A, Msgs: ev.B})
+		case ev.Walker >= 0:
+			tb := walkerTrack[ev.Walker]
+			if ev.Kind == KindWalkerMigrate {
+				tb.instant(kindName(ev.Kind), ev.TS, migrateArgs{
+					Walker: ev.Walker, Vertex: ev.A, Step: ev.Step,
+					Superstep: ev.Iter, Rank: ev.Rank, ToRank: ev.Peer,
+				})
+			} else {
+				tb.instant(kindName(ev.Kind), ev.TS, walkerArgs{
+					Walker: ev.Walker, Vertex: ev.A, Step: ev.Step,
+					Superstep: ev.Iter, Rank: ev.Rank, Trials: ev.B,
+				})
+			}
+		}
+	}
+	for _, r := range ranks {
+		rankTrack[r].closeTo(0)
+	}
+	for _, r := range transports {
+		transportTrack[r].closeTo(0)
+	}
+
+	// Stable sort by timestamp: per-track order (already monotonic and
+	// nesting-correct) is preserved on ties, so B/E pairs stay matched
+	// per (pid, tid) while the global stream becomes monotonic.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData:       perfettoOtherData{Job: c.job, Evicted: evicted},
+	})
+}
+
+func sortedInt16(set map[int16]bool) []int16 {
+	out := make([]int16, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// itoa formats prefix+n+suffix without fmt (keeps the exporter light).
+func itoa(n int, prefix, suffix string) string {
+	if n < 0 {
+		return prefix + "-" + uitoa(uint(-n)) + suffix
+	}
+	return prefix + uitoa(uint(n)) + suffix
+}
+
+func uitoa(n uint) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

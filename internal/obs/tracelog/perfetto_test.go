@@ -1,0 +1,182 @@
+package tracelog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"knightking/internal/core"
+	"knightking/internal/transport"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenCollector records a small fixed trace with an injected clock, so
+// the Perfetto encoding is byte-deterministic.
+func goldenCollector() *Collector {
+	c := New(Options{Capacity: 64, SampleEvery: 1, Ranks: 2, Job: "golden", NowNanos: fakeClock(1_000_000)})
+
+	// Sampled walker journey on rank 0: step, migrate to rank 1, finish.
+	c.OnWalkerEvent(core.WalkerTraceEvent{Rank: 0, Iteration: 1, Walker: 64, Kind: core.WalkerStep, Vertex: 9, Step: 1, Trials: 3, Peer: -1})
+	c.OnWalkerEvent(core.WalkerTraceEvent{Rank: 0, Iteration: 1, Walker: 64, Kind: core.WalkerMigrate, Vertex: 40, Step: 1, Peer: 1})
+	c.OnWalkerEvent(core.WalkerTraceEvent{Rank: 1, Iteration: 2, Walker: 64, Kind: core.WalkerFinish, Vertex: 40, Step: 2, Peer: -1})
+
+	// One transport exchange on rank 0 with two sending peers.
+	c.ObserveExchangePeers(0, 500*time.Microsecond, []transport.Message{
+		{From: 1, Payload: make([]byte, 64)},
+		{From: 1, Payload: make([]byte, 36)},
+	})
+
+	// Two ranks' superstep spans with phase and stage breakdowns.
+	c.OnSuperstep(core.SuperstepSpan{
+		Rank: 0, Iteration: 1, LocalWalkers: 10, GlobalWalkers: 20,
+		ComputeNanos: 2_000_000, ExchangeNanos: 500_000, BarrierNanos: 100_000,
+		GatherNanos: 800_000, MoveNanos: 800_000, UpdateNanos: 400_000,
+	})
+	c.OnSuperstep(core.SuperstepSpan{
+		Rank: 1, Iteration: 1, LocalWalkers: 10, GlobalWalkers: 20,
+		ComputeNanos: 3_000_000, ExchangeNanos: 200_000, BarrierNanos: 50_000,
+	})
+	c.OnSuperstep(core.SuperstepSpan{
+		Rank: 0, Iteration: 2, LocalWalkers: 4, GlobalWalkers: 8,
+		ComputeNanos: 1_000_000, ExchangeNanos: 300_000, CheckpointNanos: 700_000,
+	})
+	c.OnSuperstep(core.SuperstepSpan{
+		Rank: 1, Iteration: 2, LocalWalkers: 4, GlobalWalkers: 8,
+		ComputeNanos: 900_000, ExchangeNanos: 400_000,
+	})
+	return c
+}
+
+// TestPerfettoGolden pins the exact Perfetto JSON encoding. Regenerate
+// with `go test ./internal/obs/tracelog -run Golden -update-golden` after
+// an intentional format change.
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	got := buf.Bytes()
+	validatePerfetto(t, got)
+
+	path := filepath.Join("testdata", "trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("perfetto output diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPerfettoStructureUnderEviction exports a ring that wrapped (span
+// events evicted mid-tree) and requires the output to still be
+// structurally valid — eviction may drop whole spans but never orphan a
+// B or E.
+func TestPerfettoStructureUnderEviction(t *testing.T) {
+	c := New(Options{Capacity: 16, SampleEvery: 1, Ranks: 2, NowNanos: fakeClock(1_000_000)})
+	for i := 1; i <= 8; i++ {
+		for rank := 0; rank < 2; rank++ {
+			c.OnSuperstep(core.SuperstepSpan{
+				Rank: rank, Iteration: i, LocalWalkers: 1, GlobalWalkers: 2,
+				ComputeNanos: 1_000_000, ExchangeNanos: 200_000, BarrierNanos: 100_000,
+			})
+		}
+		c.OnWalkerEvent(core.WalkerTraceEvent{Rank: 0, Iteration: i, Walker: 0, Kind: core.WalkerStep, Vertex: 1, Step: int32(i), Trials: 1, Peer: -1})
+	}
+	var buf bytes.Buffer
+	if err := c.WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	_, evicted := c.Events()
+	if evicted == 0 {
+		t.Fatal("test wants a wrapped ring; grow the event count")
+	}
+	validatePerfetto(t, buf.Bytes())
+}
+
+// validatePerfetto decodes data and checks the trace-event invariants
+// Perfetto's importer needs: valid JSON, globally monotonic timestamps,
+// matched B/E pairs per (pid, tid) with LIFO nesting, instants carrying
+// scope "t", and the expected track metadata.
+func validatePerfetto(t *testing.T, data []byte) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TS   float64         `json:"ts"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			S    string          `json:"s"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			Job string `json:"job"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	last := -1.0
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	sawMeta := false
+	for i, ev := range doc.TraceEvents {
+		if ev.TS < last {
+			t.Fatalf("event %d (%s %s) ts %v regressed below %v", i, ev.Ph, ev.Name, ev.TS, last)
+		}
+		last = ev.TS
+		k := track{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			sawMeta = true
+		case "B":
+			stacks[k] = append(stacks[k], ev.Name)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q on track %+v with no open span", i, ev.Name, k)
+			}
+			if top := st[len(st)-1]; top != ev.Name {
+				t.Fatalf("event %d: E %q does not match open span %q on track %+v", i, ev.Name, top, k)
+			}
+			stacks[k] = st[:len(st)-1]
+		case "i":
+			if ev.S != "t" {
+				t.Errorf("event %d: instant %q scope = %q, want t", i, ev.Name, ev.S)
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if !sawMeta {
+		t.Error("no metadata events (process/thread names)")
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("track %+v left spans open: %v", k, st)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package tracelog
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"knightking/internal/core"
+	"knightking/internal/transport"
+)
+
+// fakeClock returns a deterministic strictly increasing NowNanos.
+func fakeClock(step int64) func() int64 {
+	var t int64
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+func TestRingRoundsCapacityAndEvicts(t *testing.T) {
+	c := New(Options{Capacity: 5, SampleEvery: 1, NowNanos: fakeClock(10)})
+	if got := len(c.buf); got != 8 {
+		t.Fatalf("capacity 5 rounded to %d, want 8", got)
+	}
+	for i := 0; i < 11; i++ {
+		c.OnWalkerEvent(core.WalkerTraceEvent{Walker: int64(i), Kind: core.WalkerStep, Trials: 1})
+	}
+	events, evicted := c.Events()
+	if evicted != 3 {
+		t.Fatalf("evicted = %d, want 3", evicted)
+	}
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	// Oldest three overwritten: retained walkers are 3..10 in order.
+	for i, ev := range events {
+		if ev.Walker != int64(i+3) {
+			t.Fatalf("event %d is walker %d, want %d", i, ev.Walker, i+3)
+		}
+	}
+	st := c.StatusSnapshot()
+	if st.Events != 11 || st.Evicted != 3 || st.Capacity != 8 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestSamplingIsPureFunctionOfID(t *testing.T) {
+	c := New(Options{SampleEvery: 64})
+	for _, id := range []int64{0, 64, 128, 640000} {
+		if !c.TraceWalker(id) {
+			t.Errorf("walker %d should be sampled", id)
+		}
+	}
+	for _, id := range []int64{1, 63, 65, 100} {
+		if c.TraceWalker(id) {
+			t.Errorf("walker %d should not be sampled", id)
+		}
+	}
+	// SampleEvery 1 traces everything.
+	all := New(Options{SampleEvery: 1})
+	for id := int64(0); id < 10; id++ {
+		if !all.TraceWalker(id) {
+			t.Errorf("sample-every-1 skipped walker %d", id)
+		}
+	}
+}
+
+// TestCriticalPathAttribution feeds two ranks' spans and checks the
+// barrier is attributed to the rank with the most owned (compute +
+// checkpoint) work, and that incomplete supersteps are not counted.
+func TestCriticalPathAttribution(t *testing.T) {
+	c := New(Options{Ranks: 2, NowNanos: fakeClock(1000)})
+
+	// Superstep 1: rank 1 is the straggler (3ms vs 1ms compute).
+	c.OnSuperstep(core.SuperstepSpan{Rank: 0, Iteration: 1, ComputeNanos: 1e6, ExchangeNanos: 2e6})
+	c.OnSuperstep(core.SuperstepSpan{Rank: 1, Iteration: 1, ComputeNanos: 3e6})
+	// Superstep 2: rank 0 gates via checkpoint work.
+	c.OnSuperstep(core.SuperstepSpan{Rank: 0, Iteration: 2, ComputeNanos: 1e6, CheckpointNanos: 5e6})
+	c.OnSuperstep(core.SuperstepSpan{Rank: 1, Iteration: 2, ComputeNanos: 2e6})
+	// Superstep 3: only rank 0 has reported — must not be attributed yet.
+	c.OnSuperstep(core.SuperstepSpan{Rank: 0, Iteration: 3, ComputeNanos: 9e6})
+
+	cp := c.CriticalPath()
+	if len(cp) != 2 {
+		t.Fatalf("critical path has %d ranks, want 2: %+v", len(cp), cp)
+	}
+	if cp[0].Rank != 0 || cp[0].Supersteps != 1 {
+		t.Errorf("rank 0 gate = %+v, want 1 superstep", cp[0])
+	}
+	if cp[1].Rank != 1 || cp[1].Supersteps != 1 {
+		t.Errorf("rank 1 gate = %+v, want 1 superstep", cp[1])
+	}
+	if want := 6e6 / 1e9; cp[0].GatedSeconds != want {
+		t.Errorf("rank 0 gated %v s, want %v", cp[0].GatedSeconds, want)
+	}
+}
+
+func TestExchangePeerAttribution(t *testing.T) {
+	c := New(Options{NowNanos: fakeClock(1000)})
+	c.ObserveExchangePeers(2, 5*time.Microsecond, []transport.Message{
+		{From: 0, Payload: make([]byte, 100)},
+		{From: 1, Payload: make([]byte, 50)},
+		{From: 0, Payload: make([]byte, 25)},
+		{From: -1, Payload: make([]byte, 999)}, // no sender: counted in total only
+	})
+	events, _ := c.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want exchange + 2 peers: %+v", len(events), events)
+	}
+	ex := events[0]
+	if ex.Kind != KindExchange || ex.Rank != 2 || ex.A != 175 || ex.B != 4 || ex.Dur != 5000 {
+		t.Errorf("exchange event = %+v", ex)
+	}
+	if p0 := events[1]; p0.Kind != KindExchangePeer || p0.Peer != 0 || p0.A != 125 || p0.B != 2 {
+		t.Errorf("peer 0 event = %+v", p0)
+	}
+	if p1 := events[2]; p1.Kind != KindExchangePeer || p1.Peer != 1 || p1.A != 50 || p1.B != 1 {
+		t.Errorf("peer 1 event = %+v", p1)
+	}
+	// Scratch must be zeroed for the next exchange.
+	c.ObserveExchangePeers(2, time.Microsecond, []transport.Message{{From: 1, Payload: make([]byte, 7)}})
+	events, _ = c.Events()
+	if p := events[len(events)-1]; p.A != 7 || p.B != 1 {
+		t.Errorf("second exchange peer event leaked scratch: %+v", p)
+	}
+}
+
+// TestConcurrentRanksRaceClean hammers every hook from concurrent
+// goroutines (as the engine's rank loops and workers do) while a reader
+// exports; run under -race in CI. Correctness here is just "no race, no
+// panic, counts add up".
+func TestConcurrentRanksRaceClean(t *testing.T) {
+	c := New(Options{Capacity: 1 << 10, SampleEvery: 1, Ranks: 4})
+	const perRank = 200
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 1; i <= perRank; i++ {
+				c.OnSuperstep(core.SuperstepSpan{
+					Rank: rank, Iteration: i,
+					ComputeNanos: int64(1000 * (rank + 1)), ExchangeNanos: 500,
+				})
+				c.OnWalkerEvent(core.WalkerTraceEvent{
+					Rank: rank, Iteration: i, Walker: int64(rank),
+					Kind: core.WalkerStep, Vertex: 7, Step: int32(i), Trials: 2, Peer: -1,
+				})
+				c.ObserveExchangePeers(rank, time.Microsecond, []transport.Message{
+					{From: (rank + 1) % 4, Payload: []byte{1, 2, 3}},
+				})
+			}
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			c.Events()
+			c.CriticalPath()
+			c.StatusSnapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	st := c.StatusSnapshot()
+	// Each rank iteration puts >= 4 events (superstep + >=1 phase +
+	// walker + exchange + peer).
+	if min := uint64(4 * perRank * 4); st.Events < min {
+		t.Fatalf("recorded %d events, want >= %d", st.Events, min)
+	}
+	cp := c.CriticalPath()
+	total := 0
+	for _, g := range cp {
+		total += g.Supersteps
+	}
+	if total != perRank {
+		t.Fatalf("critical path covers %d supersteps, want %d: %+v", total, perRank, cp)
+	}
+	// Rank 3 always has the largest compute, so it gates every barrier.
+	if len(cp) != 1 || cp[0].Rank != 3 {
+		t.Fatalf("expected rank 3 to gate all barriers: %+v", cp)
+	}
+}
+
+// TestDefaultClockMonotonic exercises the wall-clock default (all other
+// tests inject): timestamps must be non-decreasing.
+func TestDefaultClockMonotonic(t *testing.T) {
+	c := New(Options{SampleEvery: 1})
+	for i := 0; i < 10; i++ {
+		c.OnWalkerEvent(core.WalkerTraceEvent{Walker: int64(i), Kind: core.WalkerStep})
+	}
+	events, _ := c.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("timestamps regressed: %d after %d", events[i].TS, events[i-1].TS)
+		}
+	}
+}

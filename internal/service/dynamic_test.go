@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -197,7 +198,7 @@ func TestJobPinsAdmissionEpoch(t *testing.T) {
 	a.StepsPerSecond, b.StepsPerSecond = 0, 0
 	a.CheckpointSeconds, b.CheckpointSeconds = 0, 0
 	a.RestoreSeconds, b.RestoreSeconds = 0, 0
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("mid-queue ingest changed a pinned job's result:\n%+v\n%+v", a, b)
 	}
 	if ctrlRes.WalkLengths != targetRes.WalkLengths {

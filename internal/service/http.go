@@ -28,6 +28,7 @@ func (s *Service) handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleListJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleGetResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleGetTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleDeleteJob)
 
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -220,6 +221,33 @@ func (s *Service) handleGetResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleGetTrace serves a traced job's causal trace as Perfetto JSON.
+// The collector is safe to read mid-run, so a trace of a running job shows
+// the supersteps completed so far; terminal jobs keep their trace until
+// the record is deleted.
+func (s *Service) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	tc := j.Trace()
+	if tc == nil {
+		if !j.Spec.Trace {
+			writeError(w, http.StatusNotFound,
+				"job %s was not submitted with \"trace\": true", j.ID)
+			return
+		}
+		// Traced but not started: the collector is created at engine start.
+		writeError(w, http.StatusConflict, "job %s has not started yet", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := tc.WritePerfetto(w); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 func (s *Service) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.sched.Get(id)
@@ -262,6 +290,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteGauge(w, "serve_queue_depth", "Jobs waiting in the admission queue.", s.sched.queued.Load())
 	obs.WriteGauge(w, "serve_queue_capacity", "Admission queue depth limit.", int64(cap(s.sched.queue)))
 	obs.WriteGauge(w, "serve_jobs_running", "Jobs currently executing.", int64(counts[StateRunning]))
+	// Per-state breakdown of every retained job record; serve_jobs_running
+	// above stays for dashboards that predate the labeled family.
+	states := []obs.LabeledValue{
+		{Label: string(StateQueued), Value: int64(counts[StateQueued])},
+		{Label: string(StateRunning), Value: int64(counts[StateRunning])},
+		{Label: string(StateDone), Value: int64(counts[StateDone])},
+		{Label: string(StateFailed), Value: int64(counts[StateFailed])},
+		{Label: string(StateCancelled), Value: int64(counts[StateCancelled])},
+	}
+	obs.WriteLabeledGauge(w, "serve_jobs", "Retained job records by state.", "state", states)
 	obs.WriteGauge(w, "serve_graphs", "Graphs in the registry.", int64(s.Graphs.Len()))
 	obs.WriteGauge(w, "serve_workers", "Scheduler worker pool size.", int64(s.cfg.Workers))
 
@@ -289,6 +327,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteHistogram(w, m.ingestBatchSize.Snapshot())
 	obs.WriteHistogram(w, m.ingestApplyUs.Snapshot())
 	obs.WriteHistogram(w, m.compactUs.Snapshot())
+	obs.WriteHistogram(w, m.queueWaitNs.Snapshot())
 	obs.WriteSnapshotMetrics(w, s.sched.EngineSnapshot())
 }
 

@@ -11,6 +11,7 @@ import (
 	"knightking/internal/core"
 	"knightking/internal/dyngraph"
 	"knightking/internal/graph"
+	"knightking/internal/obs/tracelog"
 	"knightking/internal/stats"
 )
 
@@ -73,6 +74,17 @@ type JobSpec struct {
 	// the job's walk state every N supersteps under <root>/<job-id>/
 	// (0 disables).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+
+	// Trace enables causal tracing for the job: superstep/phase spans,
+	// exchange spans with peer attribution, and sampled walker journeys,
+	// exported as Perfetto JSON at GET /jobs/{id}/trace (live while
+	// running, retained after completion). Tracing cannot change walk
+	// output; its only cost is the bounded trace ring.
+	Trace bool `json:"trace,omitempty"`
+	// TraceSample samples one in N walker journeys by walker ID (default
+	// tracelog.DefaultSampleEvery; 1 traces every walker). Only meaningful
+	// with Trace.
+	TraceSample int64 `json:"trace_sample,omitempty"`
 }
 
 // validAlgs names the supported algorithms in the error message order.
@@ -134,6 +146,9 @@ func (s *JobSpec) normalize(g *graph.Graph) error {
 	}
 	if s.Walkers < 0 || s.Nodes < 0 || s.Workers < 0 || s.CheckpointEvery < 0 {
 		return fmt.Errorf("walkers, nodes, workers, checkpoint_every must be non-negative")
+	}
+	if s.TraceSample < 0 {
+		return fmt.Errorf("trace_sample %d must be non-negative", s.TraceSample)
 	}
 	if s.Walkers == 0 {
 		s.Walkers = g.NumVertices()
@@ -223,9 +238,20 @@ type Job struct {
 	lengths   walkLengths
 	ckptDir   string
 	counters  *stats.Counters // live while running; engine-owned
+	trace     *tracelog.Collector
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+}
+
+// Trace returns the job's trace collector, or nil when the job was not
+// submitted with Spec.Trace or has not started yet. The collector is safe
+// to read concurrently with the running engine, so mid-run trace exports
+// are allowed.
+func (j *Job) Trace() *tracelog.Collector {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // walkLengths is the retained walk-length digest of a finished run.
@@ -253,6 +279,7 @@ type JobStatus struct {
 	Walkers          int       `json:"walkers"`
 	Error            string    `json:"error,omitempty"`
 	CheckpointDir    string    `json:"checkpoint_dir,omitempty"`
+	Trace            bool      `json:"trace,omitempty"`
 	SubmittedAt      time.Time `json:"submitted_at"`
 	StartedAt        time.Time `json:"started_at,omitzero"`
 	FinishedAt       time.Time `json:"finished_at,omitzero"`
@@ -273,6 +300,7 @@ func (j *Job) Status() JobStatus {
 		Walkers:          j.Spec.Walkers,
 		Error:            j.errMsg,
 		CheckpointDir:    j.ckptDir,
+		Trace:            j.Spec.Trace,
 		SubmittedAt:      j.submitted,
 		StartedAt:        j.started,
 		FinishedAt:       j.finished,

@@ -11,6 +11,7 @@ import (
 	"knightking/internal/checkpoint"
 	"knightking/internal/core"
 	"knightking/internal/obs"
+	"knightking/internal/obs/tracelog"
 	"knightking/internal/stats"
 )
 
@@ -67,6 +68,11 @@ type serviceMetrics struct {
 	ingestApplyUs   *obs.Histogram
 	compactUs       *obs.Histogram
 
+	// queueWaitNs observes submission→start latency per started job; it is
+	// the early-warning signal for an undersized worker pool (renders as
+	// kk_job_queue_wait_nanos on /metrics).
+	queueWaitNs *obs.Histogram
+
 	// engine accumulates the post-join counter snapshots of finished jobs —
 	// the service-lifetime totals behind the kk_*_total families.
 	engineMu sync.Mutex
@@ -78,6 +84,7 @@ func newServiceMetrics() *serviceMetrics {
 		ingestBatchSize: obs.NewHistogram("serve_ingest_batch_edges", "Deltas per accepted ingest batch."),
 		ingestApplyUs:   obs.NewHistogram("serve_ingest_apply_us", "Microseconds per accepted ingest batch (apply + epoch publish)."),
 		compactUs:       obs.NewHistogram("serve_compact_us", "Microseconds per compaction."),
+		queueWaitNs:     obs.NewHistogram("job_queue_wait_nanos", "Nanoseconds each started job spent queued (submission to engine start)."),
 	}
 }
 
@@ -313,7 +320,18 @@ func (s *scheduler) runJob(j *Job) {
 	j.started = time.Now()
 	counters := &stats.Counters{}
 	j.counters = counters
+	var tc *tracelog.Collector
+	if j.Spec.Trace {
+		tc = tracelog.New(tracelog.Options{
+			SampleEvery: j.Spec.TraceSample,
+			Ranks:       j.Spec.Nodes,
+			Job:         j.ID + " " + j.Spec.Alg,
+		})
+		j.trace = tc
+	}
+	wait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	s.metrics.queueWaitNs.Observe(wait.Nanoseconds())
 
 	program, err := j.Spec.algorithm()
 	if err != nil {
@@ -333,6 +351,12 @@ func (s *scheduler) runJob(j *Job) {
 		// engine uses them where they apply exactly and builds its own
 		// otherwise.
 		Samplers: j.epoch,
+	}
+	if tc != nil {
+		// One collector plays both roles: superstep spans via the observer
+		// hook, walker journeys via the tracer hook.
+		cfg.Observer = tc
+		cfg.Trace = tc
 	}
 	if s.checkpointRoot != "" && j.Spec.CheckpointEvery > 0 {
 		dir := filepath.Join(s.checkpointRoot, j.ID)
@@ -390,6 +414,9 @@ func (s *scheduler) finish(j *Job, res *core.Result, err error) {
 		info.Vertices = g.NumVertices()
 		info.Edges = g.NumEdges()
 		rep := stats.NewReport(res.Counters, info)
+		if j.trace != nil {
+			rep.CriticalPath = j.trace.CriticalPath()
+		}
 		j.report = &rep
 		j.lengths = walkLengths{Mean: res.Lengths.Mean(), Max: res.Lengths.Max()}
 		s.metrics.completed.Add(1)

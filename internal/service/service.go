@@ -16,6 +16,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -113,12 +115,27 @@ func (s *Service) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the HTTP listener (if started), cancels every outstanding
-// job, and joins the worker pool.
+// DefaultShutdownTimeout bounds Close's graceful HTTP drain.
+const DefaultShutdownTimeout = 5 * time.Second
+
+// Close drains the HTTP server gracefully — the listener stops accepting,
+// in-flight requests (a /metrics scrape, a trace export) run to
+// completion, bounded by DefaultShutdownTimeout — then cancels every
+// outstanding job and joins the worker pool. Connections still open after
+// the deadline are dropped so a wedged client cannot block process exit.
 func (s *Service) Close() error {
+	return s.close(DefaultShutdownTimeout)
+}
+
+func (s *Service) close(timeout time.Duration) error {
 	var err error
 	if s.srv != nil {
-		err = s.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err = s.srv.Shutdown(ctx)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = s.srv.Close()
+		}
 	}
 	s.sched.Shutdown()
 	return err

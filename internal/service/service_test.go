@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -151,7 +152,7 @@ func TestIdenticalSubmissionsReturnIdenticalStatistics(t *testing.T) {
 	a.StepsPerSecond, b.StepsPerSecond = 0, 0
 	a.CheckpointSeconds, b.CheckpointSeconds = 0, 0
 	a.RestoreSeconds, b.RestoreSeconds = 0, 0
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("identical submissions diverged:\n%+v\n%+v", a, b)
 	}
 	if results[0].WalkLengths != results[1].WalkLengths {

@@ -61,6 +61,22 @@ type Report struct {
 	CheckpointBytes   int64   `json:"checkpoint_bytes,omitempty"`
 	CheckpointSeconds float64 `json:"checkpoint_seconds,omitempty"`
 	RestoreSeconds    float64 `json:"restore_seconds,omitempty"`
+
+	// CriticalPath attributes the run's barriers to the ranks that gated
+	// them (nil when tracing was off). Entries are sorted by rank; ranks
+	// that never gated a barrier are omitted. Filled by the causal-trace
+	// layer (internal/obs/tracelog) after the run.
+	CriticalPath []RankGate `json:"critical_path,omitempty"`
+}
+
+// RankGate is one rank's share of a run's critical path: how many
+// superstep barriers it gated (it was the last rank to finish its
+// pre-barrier work, so every other rank waited on it) and the total
+// pre-barrier time of the supersteps it gated.
+type RankGate struct {
+	Rank         int     `json:"rank"`
+	Supersteps   int     `json:"supersteps"`
+	GatedSeconds float64 `json:"gated_seconds"`
 }
 
 // RunInfo carries the non-counter inputs of a report.
@@ -142,6 +158,18 @@ func (r Report) WriteHuman(w io.Writer) error {
 	}
 	if r.StragglerSkew > 0 {
 		if _, err := fmt.Fprintf(w, ", straggler skew %.2f", r.StragglerSkew); err != nil {
+			return err
+		}
+	}
+	if len(r.CriticalPath) > 0 {
+		top := r.CriticalPath[0]
+		for _, g := range r.CriticalPath[1:] {
+			if g.Supersteps > top.Supersteps {
+				top = g
+			}
+		}
+		if _, err := fmt.Fprintf(w, ", critical path: rank %d gated %d/%d supersteps",
+			top.Rank, top.Supersteps, r.Supersteps); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -66,7 +67,7 @@ func TestJSONLine(t *testing.T) {
 	if err := json.Unmarshal([]byte(line), &back); err != nil {
 		t.Fatalf("round trip: %v", err)
 	}
-	if back != r {
+	if !reflect.DeepEqual(back, r) {
 		t.Errorf("round trip changed the report:\n got %+v\nwant %+v", back, r)
 	}
 	for _, key := range []string{`"algorithm":"node2vec"`, `"edges_per_step":0.9`, `"straggler_skew":1.5`} {

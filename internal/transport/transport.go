@@ -104,12 +104,26 @@ type Observer interface {
 	ObserveFramePayload(bytes int)
 }
 
+// ExchangePeerObserver is optionally implemented alongside Observer by
+// collectors that want per-peer exchange attribution (who sent this rank
+// how much, per collective round) — the causal-trace layer's view of
+// exchange skew. When the Observer passed to WithObserver also implements
+// it, ObserveExchangePeers is called once per completed Exchange on the
+// receiving rank with the exchange's wall time and the delivered messages.
+// The msgs slice and its payloads remain owned by the endpoint per the
+// payload-ownership contract: the callback must aggregate what it needs
+// (m.From, len(m.Payload)) before returning and must not retain the slice.
+type ExchangePeerObserver interface {
+	ObserveExchangePeers(rank int, d time.Duration, msgs []Message)
+}
+
 // observedEndpoint reports exchange latency and delivered frame sizes to an
 // Observer. It wraps the raw endpoint directly (inside any exchange-timeout
 // guard) so the observed latency is the transport's own, not the guard's.
 type observedEndpoint struct {
 	Endpoint
-	obs Observer
+	obs   Observer
+	peers ExchangePeerObserver // non-nil when obs wants peer attribution
 }
 
 // WithObserver wraps ep so every Exchange reports its latency and delivered
@@ -119,7 +133,9 @@ func WithObserver(ep Endpoint, obs Observer) Endpoint {
 	if obs == nil {
 		return ep
 	}
-	return &observedEndpoint{Endpoint: ep, obs: obs}
+	o := &observedEndpoint{Endpoint: ep, obs: obs}
+	o.peers, _ = obs.(ExchangePeerObserver)
+	return o
 }
 
 // Exchange delegates to the wrapped endpoint, observing the outcome.
@@ -133,6 +149,9 @@ func (o *observedEndpoint) Exchange() ([]Message, error) {
 		bytes += int64(len(m.Payload))
 	}
 	o.obs.ObserveExchange(d, len(msgs), bytes)
+	if o.peers != nil {
+		o.peers.ObserveExchangePeers(o.Endpoint.Rank(), d, msgs)
+	}
 	return msgs, err
 }
 

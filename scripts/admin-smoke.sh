@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke-test the kkwalk admin server end to end: start a multi-rank walk
-# with -admin-addr, scrape /metrics and /statusz while it runs, and verify
-# the final -json report carries a non-zero edges/step. Exercises the whole
-# telemetry path (engine hooks -> registry -> HTTP) the way an operator
-# would. Used by CI; runnable locally with `scripts/admin-smoke.sh`.
+# with -admin-addr and -trace, scrape /metrics, /statusz, and /trace while
+# it runs, and verify the final -json report carries a non-zero edges/step
+# and the written Perfetto trace is structurally valid (superstep spans,
+# sampled walker journeys). Exercises the whole telemetry path (engine
+# hooks -> registry/collector -> HTTP -> file) the way an operator would.
+# Used by CI; runnable locally with `scripts/admin-smoke.sh`.
 set -euo pipefail
 
 PORT="${ADMIN_SMOKE_PORT:-19753}"
@@ -17,7 +19,8 @@ go build -o "$DIR/kkwalk" ./cmd/kkwalk
 
 # Enough walkers that the run stays alive for several scrapes.
 "$DIR/kkwalk" -graph "$DIR/g.txt" -alg node2vec -nodes 4 -walkers 100000 \
-    -admin-addr "127.0.0.1:$PORT" -quiet -json >"$DIR/report.json" &
+    -admin-addr "127.0.0.1:$PORT" -trace "$DIR/trace.json" -trace-sample 256 \
+    -quiet -json >"$DIR/report.json" &
 WALK_PID=$!
 
 # Wait for the listener, then scrape both endpoints mid-run.
@@ -45,7 +48,45 @@ echo "$STATUSZ" | grep -q '"superstep"' \
 curl -sf "http://127.0.0.1:$PORT/debug/pprof/cmdline" >/dev/null \
     || { echo "admin-smoke: pprof endpoint failed" >&2; exit 1; }
 
+# The live /trace endpoint serves the partial trace mid-run.
+curl -sf "http://127.0.0.1:$PORT/trace" >"$DIR/live-trace.json" \
+    || { echo "admin-smoke: /trace endpoint failed" >&2; exit 1; }
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "traceEvents" in doc, "live trace has no traceEvents"
+' "$DIR/live-trace.json"
+
 wait "$WALK_PID"
+
+# The final trace file must be a structurally valid Chrome trace: matched
+# B/E span pairs per track, superstep spans on every rank, and sampled
+# walker journey instants with step decisions.
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+assert evs, "trace is empty"
+stacks, supersteps, journeys = {}, 0, 0
+for ev in evs:
+    key = (ev["pid"], ev["tid"])
+    ph = ev["ph"]
+    if ph == "B":
+        stacks.setdefault(key, []).append(ev["name"])
+        if ev["name"].startswith("superstep "):
+            supersteps += 1
+    elif ph == "E":
+        top = stacks.get(key, [])
+        assert top and top[-1] == ev["name"], f"unmatched E {ev['name']!r} on {key}"
+        top.pop()
+    elif ph == "i" and ev["pid"] == 2:
+        journeys += 1
+for key, st in stacks.items():
+    assert not st, f"track {key} left spans open: {st}"
+assert supersteps > 0, "no superstep spans"
+assert journeys > 0, "no sampled walker journey events"
+print(f"admin-smoke: trace OK ({len(evs)} events, {supersteps} superstep spans, {journeys} journey instants)")
+' "$DIR/trace.json"
 
 EPS="$(sed -n 's/.*"edges_per_step":\([0-9.e+-]*\).*/\1/p' "$DIR/report.json")"
 if [ -z "$EPS" ] || [ "$EPS" = "0" ]; then

@@ -6,7 +6,8 @@
 # long-running job (it must reach `cancelled` in under 2 seconds).
 # Then exercises live ingest: edges posted mid-job must not change a
 # pinned job's result, a later job observes the new epoch, and explicit
-# compaction folds the overlay.
+# compaction folds the overlay. Finally submits a traced job and
+# validates the Perfetto trace served at /jobs/{id}/trace.
 # Used by CI; runnable locally with `scripts/serve-smoke.sh`.
 set -euo pipefail
 
@@ -173,6 +174,48 @@ grep -q '^kk_serve_ingest_batches_total 1' "$DIR/metrics2.txt" \
     || { echo "serve-smoke: /metrics ingest batch count wrong" >&2; exit 1; }
 grep -q '^kk_serve_compactions_total 1' "$DIR/metrics2.txt" \
     || { echo "serve-smoke: /metrics compaction count wrong" >&2; exit 1; }
+
+# Causal tracing through the service: a job submitted with trace:true
+# serves a structurally valid Perfetto trace at /jobs/{id}/trace, its
+# report carries a critical-path attribution, and untraced jobs 404.
+TRACED='{"graph":"pl2000","alg":"node2vec","length":20,"p":2,"q":0.5,"seed":42,"walkers":2000,"nodes":2,"trace":true,"trace_sample":64}'
+IDT="$(submit "$TRACED" | job_id)"
+await "$IDT" done
+curl -sf "$BASE/jobs/$IDT/trace" >"$DIR/trace.json" \
+    || { echo "serve-smoke: trace fetch failed" >&2; exit 1; }
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+stacks, supersteps, journeys, trialed = {}, 0, 0, 0
+for ev in evs:
+    key = (ev["pid"], ev["tid"])
+    if ev["ph"] == "B":
+        stacks.setdefault(key, []).append(ev["name"])
+        supersteps += ev["name"].startswith("superstep ")
+    elif ev["ph"] == "E":
+        top = stacks.get(key, [])
+        assert top and top[-1] == ev["name"], f"unmatched E {ev['name']!r} on {key}"
+        top.pop()
+    elif ev["ph"] == "i" and ev["pid"] == 2:
+        journeys += 1
+        if ev["name"] == "step" and ev.get("args", {}).get("trials", 0) >= 1:
+            trialed += 1
+for key, st in stacks.items():
+    assert not st, f"track {key} left spans open: {st}"
+assert supersteps > 0, "no superstep spans"
+assert journeys > 0, "no sampled walker journeys"
+assert trialed > 0, "no journey step carries a rejection trial count"
+print(f"serve-smoke: trace OK ({len(evs)} events, {supersteps} superstep spans, {journeys} journey instants, {trialed} trialed steps)")
+' "$DIR/trace.json"
+curl -sf "$BASE/jobs/$IDT/result" | grep -q '"critical_path"' \
+    || { echo "serve-smoke: traced report missing critical_path" >&2; exit 1; }
+if curl -sf "$BASE/jobs/$IDA/trace" >/dev/null 2>&1; then
+    echo "serve-smoke: untraced job served a trace, want 404" >&2
+    exit 1
+fi
+curl -sf "$BASE/metrics" | grep -q '^kk_job_queue_wait_nanos_count' \
+    || { echo "serve-smoke: /metrics missing queue wait histogram" >&2; exit 1; }
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
