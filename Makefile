@@ -10,12 +10,17 @@ build:
 vet:
 	go vet ./...
 
-# kklint enforces the determinism and ownership contracts (see
-# CONTRIBUTING.md "Contract checking with kklint"). Run standalone for the
-# audit listing of //kk:nondet-ok waivers: `go run ./cmd/kklint -waivers ./...`.
+# kklint enforces the engine's written contracts (see CONTRIBUTING.md
+# "Contract checking with kklint"): determinism, payload ownership, atomic
+# counters, the zero-alloc //kk:hotpath set, //kk:phase discipline,
+# goroutine joins, and error handling. Three passes: vet-mode over the
+# non-test code, standalone -tests over the test variants (what CI runs),
+# and the -waivers audit, which fails on stale or reasonless waivers.
 lint:
 	go build -o bin/kklint ./cmd/kklint
 	go vet -vettool=$(CURDIR)/bin/kklint ./...
+	go run ./cmd/kklint -tests ./...
+	go run ./cmd/kklint -waivers ./... >/dev/null
 
 test:
 	go test ./...

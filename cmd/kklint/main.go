@@ -1,5 +1,6 @@
 // kklint is the repo's contract checker: a multichecker bundling the
-// detrand, payloadown, and atomiccounter analyzers (see internal/lint).
+// detrand, payloadown, atomiccounter, hotalloc, barrierphase, goroleak,
+// and errdrop analyzers (see internal/lint).
 //
 // Two ways to run it:
 //
@@ -8,23 +9,32 @@
 //
 // Standalone flags:
 //
-//	-waivers   also print every accepted //kk:nondet-ok waiver
+//	-waivers   also print every accepted //kk:*-ok waiver, and fail when
+//	           a waiver marker no longer suppresses any diagnostic
+//	-tests     analyze test variants too (regular + _test.go files and
+//	           external test packages), like `go vet` does
 //
-// Exit status: 0 clean, 1 findings or errors.
+// Exit status: 0 clean, 1 findings or stale waivers, 2 usage/load errors
+// (including package patterns that match nothing).
 package main
 
 import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"knightking/internal/lint/analysis"
 	"knightking/internal/lint/atomiccounter"
+	"knightking/internal/lint/barrierphase"
 	"knightking/internal/lint/detrand"
 	"knightking/internal/lint/driver"
+	"knightking/internal/lint/errdrop"
+	"knightking/internal/lint/goroleak"
+	"knightking/internal/lint/hotalloc"
 	"knightking/internal/lint/payloadown"
 )
 
@@ -33,56 +43,68 @@ func analyzers() []*analysis.Analyzer {
 		detrand.Analyzer,
 		payloadown.Analyzer,
 		atomiccounter.Analyzer,
+		hotalloc.Analyzer,
+		barrierphase.Analyzer,
+		goroleak.Analyzer,
+		errdrop.Analyzer,
 	}
 }
 
 func main() {
-	args := os.Args[1:]
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// runMain is main with the process edges injected, so the vet handshake
+// and exit-code contract are testable.
+func runMain(args []string, stdout, stderr io.Writer) int {
 	// The go vet handshake: `kklint -V=full` prints a versioned build ID,
 	// `kklint -flags` lists the tool's analyzer flags (none), and a single
 	// *.cfg argument means cmd/go is driving one compilation unit.
 	if len(args) == 1 {
 		switch {
 		case args[0] == "-V=full" || args[0] == "--V=full":
-			printVersion()
-			return
+			printVersion(stdout)
+			return 0
 		case args[0] == "-flags" || args[0] == "--flags":
-			fmt.Println("[]")
-			return
+			fmt.Fprintln(stdout, "[]")
+			return 0
 		case strings.HasSuffix(args[0], ".cfg"):
-			code := driver.Unitchecker(analyzers(), args[0], os.Stderr)
+			code := driver.Unitchecker(analyzers(), args[0], stderr)
 			if code == 1 {
-				os.Exit(1)
+				return 1
 			}
 			if code != 0 {
-				os.Exit(2)
+				return 2
 			}
-			return
+			return 0
 		}
 	}
 
-	fs := flag.NewFlagSet("kklint", flag.ExitOnError)
-	waivers := fs.Bool("waivers", false, "print accepted //kk:nondet-ok waivers after the diagnostics")
+	fs := flag.NewFlagSet("kklint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	waivers := fs.Bool("waivers", false,
+		"print accepted //kk:*-ok waivers after the diagnostics and fail on stale waiver markers")
+	tests := fs.Bool("tests", false, "analyze test variants (regular + _test.go files) too")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: kklint [-waivers] [packages]\n")
+		fmt.Fprintf(stderr, "usage: kklint [-waivers] [-tests] [packages]\n")
 		fs.PrintDefaults()
 	}
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	if code := driver.Standalone(analyzers(), patterns, *waivers, os.Stdout, os.Stderr); code != 0 {
-		os.Exit(1)
-	}
+	opts := driver.Options{Waivers: *waivers, Tests: *tests}
+	return driver.Standalone(analyzers(), patterns, opts, stdout, stderr)
 }
 
 // printVersion emits the line cmd/go's toolID parser expects from a
 // vettool: `name version devel ... buildID=<content id>`, where the
 // content id fingerprints this binary so vet results are cached per
 // build of the checker.
-func printVersion() {
+func printVersion(out io.Writer) {
 	name := filepath.Base(os.Args[0])
 	name = strings.TrimSuffix(name, ".exe")
 	id := "unknown"
@@ -92,5 +114,5 @@ func printVersion() {
 			id = fmt.Sprintf("%x", sum[:12])
 		}
 	}
-	fmt.Printf("%s version devel comments-go-here buildID=%s\n", name, id)
+	fmt.Fprintf(out, "%s version devel comments-go-here buildID=%s\n", name, id)
 }

@@ -11,10 +11,12 @@ import (
 // TestRepoComesUpClean is the self-check the acceptance criteria demand:
 // kklint over the whole module finds nothing — every wall-clock read in
 // the deterministic packages carries a reasoned waiver, no payload
-// escapes its Exchange window, and counters stay atomic.
+// escapes its Exchange window, counters stay atomic, the hot path does
+// not allocate, phase-tagged state moves only inside its phase, every
+// goroutine joins, and no error is silently dropped.
 func TestRepoComesUpClean(t *testing.T) {
 	var out, errw bytes.Buffer
-	code := driver.Standalone(analyzers(), []string{"knightking/..."}, false, &out, &errw)
+	code := driver.Standalone(analyzers(), []string{"knightking/..."}, driver.Options{}, &out, &errw)
 	if code != 0 {
 		t.Fatalf("kklint knightking/... exited %d\nstdout:\n%s\nstderr:\n%s",
 			code, out.String(), errw.String())
@@ -24,23 +26,96 @@ func TestRepoComesUpClean(t *testing.T) {
 	}
 }
 
-// TestRepoWaiversRecorded pins that the timing waivers in the engine are
-// visible to the audit listing: every waiver has a reason, and the known
-// telemetry sites are present.
+// TestRepoCleanWithTests runs the same self-check over the test variants
+// (regular + _test.go files, external test packages), which is what the
+// CI -tests step executes.
+func TestRepoCleanWithTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("test-variant sweep is a second full load of the module")
+	}
+	var out, errw bytes.Buffer
+	opts := driver.Options{Tests: true}
+	code := driver.Standalone(analyzers(), []string{"knightking/..."}, opts, &out, &errw)
+	if code != 0 {
+		t.Fatalf("kklint -tests knightking/... exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected diagnostics:\n%s", out.String())
+	}
+}
+
+// TestRepoWaiversRecorded pins that the waivers in the engine are visible
+// to the audit listing: every waiver has a reason, the known telemetry
+// sites are present, and no stale waiver markers survive.
 func TestRepoWaiversRecorded(t *testing.T) {
 	var out, errw bytes.Buffer
-	code := driver.Standalone(analyzers(), []string{"knightking/..."}, true, &out, &errw)
+	opts := driver.Options{Waivers: true}
+	code := driver.Standalone(analyzers(), []string{"knightking/..."}, opts, &out, &errw)
 	if code != 0 {
-		t.Fatalf("kklint -waivers exited %d: %s", code, errw.String())
+		t.Fatalf("kklint -waivers exited %d:\n%s\n%s", code, out.String(), errw.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
 	if len(lines) < 30 {
-		t.Fatalf("expected the engine's timing waivers in the listing, got %d lines:\n%s",
+		t.Fatalf("expected the engine's waivers in the listing, got %d lines:\n%s",
 			len(lines), out.String())
 	}
 	for _, line := range lines {
 		if !strings.Contains(line, "waived: ") {
 			t.Errorf("non-waiver line in clean run: %q", line)
 		}
+	}
+}
+
+// TestVetHandshake pins the -V=full and -flags protocol cmd/go speaks to
+// a vettool before trusting it.
+func TestVetHandshake(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runMain([]string{"-V=full"}, &out, &errw); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, errw.String())
+	}
+	line := out.String()
+	if !strings.Contains(line, "version devel") || !strings.Contains(line, "buildID=") {
+		t.Errorf("-V=full output %q lacks the toolID fields cmd/go parses", line)
+	}
+
+	out.Reset()
+	if code := runMain([]string{"-flags"}, &out, &errw); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, errw.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-flags printed %q, want []", out.String())
+	}
+}
+
+// TestEmptyPatternFails pins the exit contract for patterns that match
+// nothing: a CI step linting a mistyped path must fail loudly, not pass
+// vacuously. Two shapes: a path that does not exist (go list itself
+// errors) and a real directory containing no Go packages (go list
+// succeeds with zero matches and the driver must refuse).
+func TestEmptyPatternFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := runMain([]string{"./does/not/exist/..."}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("nonexistent pattern exited %d, want 2\nstdout: %s\nstderr: %s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), "no such file or directory") &&
+		!strings.Contains(errw.String(), "matched no packages") {
+		t.Errorf("stderr %q does not explain the empty match", errw.String())
+	}
+
+	dir := t.TempDir() // exists, but holds no Go files
+	out.Reset()
+	errw.Reset()
+	code = runMain([]string{dir}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("zero-match pattern exited %d, want 2\nstdout: %s\nstderr: %s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), "no packages match") &&
+		!strings.Contains(errw.String(), "no Go files") &&
+		!strings.Contains(errw.String(), "matched no packages") {
+		t.Errorf("stderr %q does not explain the empty match", errw.String())
 	}
 }

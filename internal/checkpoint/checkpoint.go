@@ -181,12 +181,12 @@ func (s *Store) prune(iteration int) {
 			committed = append(committed, it)
 		}
 		if it, ok := parseIterDir(e.Name(), stagingPrefix); ok && it < iteration {
-			os.RemoveAll(filepath.Join(s.dir, e.Name()))
+			_ = os.RemoveAll(filepath.Join(s.dir, e.Name())) // best-effort prune of abandoned staging
 		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(committed)))
 	for _, it := range committed[min(retain, len(committed)):] {
-		os.RemoveAll(ckptDir(s.dir, it))
+		_ = os.RemoveAll(ckptDir(s.dir, it)) // best-effort retention prune
 	}
 }
 
@@ -388,17 +388,17 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return err
 	}
 	return os.Rename(tmp, path)

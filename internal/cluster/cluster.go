@@ -174,7 +174,7 @@ func Run(eps []transport.Endpoint, fn func(rank int, ep transport.Endpoint) erro
 			defer wg.Done()
 			if err := fn(i, ep); err != nil {
 				errs[i] = err
-				ep.Close() // unblock peers stuck in Exchange
+				_ = ep.Close() // best-effort: unblock peers stuck in Exchange
 			}
 		}(i, ep)
 	}

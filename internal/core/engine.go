@@ -532,7 +532,9 @@ type node struct {
 	walkers  []*Walker
 	awaiting map[int64]*Walker
 
-	inFlight int64 // migrations sent but not yet counted by their receiver
+	// inFlight counts migrations sent but not yet counted by their receiver.
+	//kk:phase compute,superstep
+	inFlight int64
 
 	// Preallocated hot-path state: the walker arena, one workerState per
 	// worker goroutine (persistent output staging, batch arrays, scratch),
@@ -542,11 +544,11 @@ type node struct {
 	pool      walkerPool
 	wstates   []*workerState
 	loop      *workerState
-	keep      []bool
-	parkedBuf []*Walker
+	keep      []bool    //kk:phase compute
+	parkedBuf []*Walker //kk:phase compute
 	queryBuf  []transport.Message
-	spansBuf  []querySpan
-	errsBuf   []error
+	spansBuf  []querySpan //kk:phase query
+	errsBuf   []error     //kk:phase query
 
 	// adapt holds runtime sampler-adaptation state (nil when disabled).
 	adapt *adaptState
@@ -569,9 +571,9 @@ type node struct {
 	stepExchange  int64
 	stepRecvMsgs  int64
 	stepRecvBytes int64
-	stepGather    int64
-	stepMove      int64
-	stepUpdate    int64
+	stepGather    int64 //kk:phase compute,superstep
+	stepMove      int64 //kk:phase compute,superstep
+	stepUpdate    int64 //kk:phase compute,superstep
 
 	// tracer receives sampled walker journeys when Config.Trace is set
 	// (see trace.go); curIter is the running superstep number stamped on
@@ -825,6 +827,8 @@ func (o *outBufs) addResponse(dest int, walkerID int64, result uint64) {
 // instead of regrowing every staging buffer from scratch each phase.
 // Object-path migration batches (ls non-nil) transfer wholesale — the
 // receiver recycles the batch container through walkerBatchPool.
+//
+//kk:hotpath
 func (o *outBufs) flush(ep transport.Endpoint, ls transport.LocalSender) {
 	for dest := 0; dest < o.size; dest++ {
 		if b := o.local[dest]; b != nil {
@@ -832,15 +836,15 @@ func (o *outBufs) flush(ep transport.Endpoint, ls transport.LocalSender) {
 			o.local[dest] = nil
 		}
 		if b := o.migrate[dest]; len(b) > 0 {
-			ep.Send(dest, kMigrate, append(make([]byte, 0, len(b)), b...))
+			ep.Send(dest, kMigrate, append(make([]byte, 0, len(b)), b...)) //kk:alloc-ok per-superstep payload copy: Send retains the buffer, so staging cannot be reused without it
 			o.migrate[dest] = b[:0]
 		}
 		if b := o.query[dest]; len(b) > 0 {
-			ep.Send(dest, kQuery, append(make([]byte, 0, len(b)), b...))
+			ep.Send(dest, kQuery, append(make([]byte, 0, len(b)), b...)) //kk:alloc-ok per-superstep payload copy: Send retains the buffer, so staging cannot be reused without it
 			o.query[dest] = b[:0]
 		}
 		if b := o.response[dest]; len(b) > 0 {
-			ep.Send(dest, kResponse, append(make([]byte, 0, len(b)), b...))
+			ep.Send(dest, kResponse, append(make([]byte, 0, len(b)), b...)) //kk:alloc-ok per-superstep payload copy: Send retains the buffer, so staging cannot be reused without it
 			o.response[dest] = b[:0]
 		}
 	}
@@ -868,6 +872,8 @@ func (n *node) exchange() ([]transport.Message, error) {
 // one exchange for static/first-order walks, or two for higher-order walks
 // (queries out + responses back), exactly the structure the paper
 // describes.
+//
+//kk:phase superstep
 func (n *node) run() (iterations, lightIters int, err error) {
 	twoRound := n.alg.higherOrder()
 	iterations = n.startIter
@@ -1104,6 +1110,8 @@ func (n *node) lightMode(active int) bool {
 // parked query), in parallel chunks, then compacts the walker list.
 // Returns the walkers parked on queries this phase (a scratch slice valid
 // until the next phase A).
+//
+//kk:phase compute
 func (n *node) phaseA(light bool) []*Walker {
 	workers := n.cfg.Workers
 	if light {
@@ -1179,6 +1187,8 @@ func (n *node) phaseA(light bool) []*Walker {
 // stepping, kept as the bit-identity oracle for the interleaved pipeline.
 // It shares decideStep/applyAction with stepBatch, so the two strategies
 // cannot drift apart.
+//
+//kk:hotpath
 func (n *node) stepScalar(ws []*Walker, base, end int, keep []bool, st *workerState) {
 	for i := base; i < end; i++ {
 		w := ws[i]
@@ -1360,7 +1370,7 @@ func (n *node) applyAction(w *Walker, act action, edgeIdx int, st *workerState) 
 		st.parked = append(st.parked, w)
 		return true
 	}
-	panic(fmt.Sprintf("core: unknown step action %d", act))
+	panic(fmt.Sprintf("core: unknown step action %d", act)) //kk:alloc-ok panic path: an unknown step action is an engine bug, never steady state
 }
 
 // observeStep reports an accepted step's trial burst to telemetry, the
@@ -1390,7 +1400,7 @@ func (n *node) observeStep(w *Walker, obsTrials int64, cellTrials uint32) {
 func (n *node) fullScanChoose(w *Walker, deg int, smp sampling.StaticSampler, st *workerState, obsTrials int64, cellTrials uint32) (int, bool) {
 	bc := &st.counters
 	if cap(st.scanWeights) < deg {
-		st.scanWeights = make([]float64, deg)
+		st.scanWeights = make([]float64, deg) //kk:alloc-ok amortized: scan scratch grows to the max degree seen, then is reused
 	}
 	weights := st.scanWeights[:deg]
 	total := 0.0
@@ -1405,7 +1415,7 @@ func (n *node) fullScanChoose(w *Walker, deg int, smp sampling.StaticSampler, st
 		return 0, false
 	}
 	if err := st.scanITS.ResetFloat64(weights); err != nil {
-		panic(fmt.Sprintf("core: full-scan fallback at vertex %d: %v", w.Cur, err))
+		panic(fmt.Sprintf("core: full-scan fallback at vertex %d: %v", w.Cur, err)) //kk:alloc-ok panic path: invalid full-scan weights abort the run, never steady state
 	}
 	bc.trials++
 	n.observeStep(w, obsTrials, cellTrials)
@@ -1465,6 +1475,8 @@ func (n *node) finish(w *Walker, st *workerState) {
 
 // receiveWalkers decodes a migration batch into the local walker list,
 // reusing arena walkers recycled by earlier supersteps.
+//
+//kk:hotpath
 func (n *node) receiveWalkers(payload []byte) error {
 	for len(payload) > 0 {
 		w := n.pool.get()
@@ -1485,6 +1497,8 @@ const queryRecordLen = 20
 // phaseB answers all incoming state queries, processing chunks of records
 // in parallel (chunk size 128, matching the walker chunks) and flushing
 // each worker's batched responses.
+//
+//kk:phase query
 func (n *node) phaseB(queryMsgs []transport.Message, light bool) error {
 	var total int
 	for _, m := range queryMsgs {
@@ -1566,6 +1580,8 @@ type querySpan struct {
 
 // answerQueryRange answers the global record range [base, end) against the
 // flattened query spans.
+//
+//kk:hotpath
 func (n *node) answerQueryRange(spans []querySpan, base, end int, out *outBufs) error {
 	// Locate the span containing base.
 	si := 0
@@ -1586,7 +1602,7 @@ func (n *node) answerQueryRange(spans []querySpan, base, end int, out *outBufs) 
 		target := binary.LittleEndian.Uint32(payload[off+8:])
 		arg := binary.LittleEndian.Uint64(payload[off+12:])
 		if !n.part.Owns(n.rank, target) {
-			return fmt.Errorf("core: query for vertex %d routed to wrong node %d", target, n.rank)
+			return fmt.Errorf("core: query for vertex %d routed to wrong node %d", target, n.rank) //kk:alloc-ok error path: a misrouted query aborts the run, never steady state
 		}
 		out.addResponse(sp.m.From, walkerID, n.alg.answerQuery(n.g, target, arg))
 		i++
@@ -1598,16 +1614,18 @@ func (n *node) answerQueryRange(spans []querySpan, base, end int, out *outBufs) 
 // resolution compares its Y against Pd only (AcceptMain consumes no RNG),
 // so it is unaffected by any sampler-structure switch at an intervening
 // adaptation barrier.
+//
+//kk:hotpath
 func (n *node) applyResponses(payload []byte, st *workerState) error {
 	if len(payload)%16 != 0 {
-		return fmt.Errorf("core: malformed response batch (%d bytes)", len(payload))
+		return fmt.Errorf("core: malformed response batch (%d bytes)", len(payload)) //kk:alloc-ok error path: a malformed response batch aborts the run, never steady state
 	}
 	for off := 0; off < len(payload); off += 16 {
 		walkerID := int64(binary.LittleEndian.Uint64(payload[off:]))
 		result := binary.LittleEndian.Uint64(payload[off+8:])
 		w, ok := n.awaiting[walkerID]
 		if !ok {
-			return fmt.Errorf("core: response for unknown walker %d", walkerID)
+			return fmt.Errorf("core: response for unknown walker %d", walkerID) //kk:alloc-ok error path: a response for an unknown walker aborts the run, never steady state
 		}
 		delete(n.awaiting, walkerID)
 		w.awaiting = false
@@ -1643,7 +1661,7 @@ func (n *node) removeWalker(w *Walker) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("core: walker %d not found for removal", w.ID))
+	panic(fmt.Sprintf("core: walker %d not found for removal", w.ID)) //kk:alloc-ok panic path: removing an untracked walker is an engine bug, never steady state
 }
 
 func (n *node) samplerOf(v graph.VertexID) sampling.StaticSampler {

@@ -45,6 +45,8 @@ var walkerBatchPool = sync.Pool{New: func() any { return new(walkerBatch) }}
 
 // recycle clears the batch (dropping walker references so the receiver's
 // arena owns them alone) and returns it to the pool.
+//
+//kk:hotpath
 func (b *walkerBatch) recycle() {
 	clear(b.ws)
 	b.ws = b.ws[:0]
@@ -85,6 +87,8 @@ type batchCounters struct {
 	queries, steps, restarts, terminations          int64
 }
 
+//
+//kk:hotpath
 func (bc *batchCounters) flush(c *stats.Counters) {
 	if bc.trials != 0 {
 		c.Trials.Add(bc.trials)
@@ -133,6 +137,8 @@ type walkerPool struct {
 
 const poolSlabSize = 256
 
+//
+//kk:hotpath
 func (p *walkerPool) get() *Walker {
 	if k := len(p.free); k > 0 {
 		w := p.free[k-1]
@@ -141,7 +147,7 @@ func (p *walkerPool) get() *Walker {
 		return w
 	}
 	if len(p.slab) == 0 {
-		p.slab = make([]Walker, poolSlabSize)
+		p.slab = make([]Walker, poolSlabSize) //kk:alloc-ok amortized: one slab allocation serves poolSlabSize walkers
 	}
 	w := &p.slab[0]
 	p.slab = p.slab[1:]
@@ -151,6 +157,8 @@ func (p *walkerPool) get() *Walker {
 func (p *walkerPool) put(w *Walker) { p.free = append(p.free, w) }
 
 // putAll drains a worker's staged frees into the pool.
+//
+//kk:hotpath
 func (p *walkerPool) putAll(ws *[]*Walker) {
 	p.free = append(p.free, *ws...)
 	for i := range *ws {
@@ -177,19 +185,21 @@ func (b *batchState) grow(k int) {
 	if cap(b.w) >= k {
 		return
 	}
-	b.w = make([]*Walker, k)
-	b.slot = make([]int32, k)
-	b.deg = make([]int32, k)
-	b.smp = make([]sampling.StaticSampler, k)
-	b.rej = make([]*sampling.Rejection, k)
-	b.mode = make([]sampling.Mode, k)
-	b.act = make([]action, k)
+	b.w = make([]*Walker, k)                  //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
+	b.slot = make([]int32, k)                 //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
+	b.deg = make([]int32, k)                  //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
+	b.smp = make([]sampling.StaticSampler, k) //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
+	b.rej = make([]*sampling.Rejection, k)    //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
+	b.mode = make([]sampling.Mode, k)         //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
+	b.act = make([]action, k)                 //kk:alloc-ok amortized: batch arrays grow to the chunk size once, then are reused
 	b.edge = make([]int32, k)
 }
 
 // stepBatch advances walkers [base, end) through one step, stage-at-a-time
 // across the batch. Per-stage wall time is accumulated only when an
 // observer is attached, so the unobserved hot path takes no clock reads.
+//
+//kk:hotpath
 func (n *node) stepBatch(ws []*Walker, base, end int, keep []bool, st *workerState) {
 	b := &st.batch
 	b.grow(end - base)

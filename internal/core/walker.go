@@ -88,6 +88,8 @@ func (w *Walker) InHistory(v graph.VertexID) bool {
 // carry no pending-dart bytes; checkpoint segments reuse the same codec and
 // do encode awaiting walkers, whose records grow by pendingLen bytes
 // (flag bit 1) so the dart and its outstanding query survive a resume.
+//
+//kk:hotpath
 func encodeWalker(buf []byte, w *Walker) []byte {
 	var tmp [walkerFixedLen]byte
 	binary.LittleEndian.PutUint64(tmp[0:], uint64(w.ID))
@@ -109,11 +111,11 @@ func encodeWalker(buf []byte, w *Walker) []byte {
 	}
 	tmp[60] = flags
 	if len(w.History) > 255 {
-		panic(fmt.Sprintf("core: history length %d exceeds wire limit", len(w.History)))
+		panic(fmt.Sprintf("core: history length %d exceeds wire limit", len(w.History))) //kk:alloc-ok panic path: a wire-limit overflow aborts the run, never steady state
 	}
 	tmp[61] = byte(len(w.History))
 	if len(w.Path) > 1<<16-1 {
-		panic(fmt.Sprintf("core: path length %d exceeds wire limit", len(w.Path)))
+		panic(fmt.Sprintf("core: path length %d exceeds wire limit", len(w.Path))) //kk:alloc-ok panic path: a wire-limit overflow aborts the run, never steady state
 	}
 	binary.LittleEndian.PutUint16(tmp[62:], uint16(len(w.Path)))
 	buf = append(buf, tmp[:]...)
@@ -153,9 +155,11 @@ func decodeWalker(buf []byte) (*Walker, []byte, error) {
 // field and reusing w's History/Path capacity where possible — the
 // zero-allocation decode path for pooled walkers on the migration hot
 // path. On error w is left partially written; callers recycle it anyway.
+//
+//kk:hotpath
 func decodeWalkerInto(w *Walker, buf []byte) ([]byte, error) {
 	if len(buf) < walkerFixedLen {
-		return nil, fmt.Errorf("core: truncated walker record (%d bytes)", len(buf))
+		return nil, fmt.Errorf("core: truncated walker record (%d bytes)", len(buf)) //kk:alloc-ok error path: a corrupt walker record aborts the run, never steady state
 	}
 	w.ID = int64(binary.LittleEndian.Uint64(buf[0:]))
 	w.Cur = binary.LittleEndian.Uint32(buf[8:])
@@ -168,7 +172,7 @@ func decodeWalkerInto(w *Walker, buf []byte) ([]byte, error) {
 		st[i] = binary.LittleEndian.Uint64(buf[28+8*i:])
 	}
 	if buf[60]&^byte(3) != 0 {
-		return nil, fmt.Errorf("core: unknown walker flag bits %#x", buf[60])
+		return nil, fmt.Errorf("core: unknown walker flag bits %#x", buf[60]) //kk:alloc-ok error path: a corrupt walker record aborts the run, never steady state
 	}
 	w.sampling = buf[60]&1 != 0
 	w.awaiting = buf[60]&2 != 0
@@ -177,7 +181,7 @@ func decodeWalkerInto(w *Walker, buf []byte) ([]byte, error) {
 	buf = buf[walkerFixedLen:]
 	if w.awaiting {
 		if len(buf) < pendingLen {
-			return nil, fmt.Errorf("core: truncated walker pending dart")
+			return nil, fmt.Errorf("core: truncated walker pending dart") //kk:alloc-ok error path: a corrupt walker record aborts the run, never steady state
 		}
 		w.pendingEdge = int32(binary.LittleEndian.Uint32(buf[0:]))
 		w.pendingY = math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
@@ -189,12 +193,12 @@ func decodeWalkerInto(w *Walker, buf []byte) ([]byte, error) {
 	}
 	if histLen > 0 {
 		if len(buf) < 4*histLen {
-			return nil, fmt.Errorf("core: truncated walker history")
+			return nil, fmt.Errorf("core: truncated walker history") //kk:alloc-ok error path: a corrupt walker record aborts the run, never steady state
 		}
 		if cap(w.History) >= histLen {
 			w.History = w.History[:histLen]
 		} else {
-			w.History = make([]graph.VertexID, histLen)
+			w.History = make([]graph.VertexID, histLen) //kk:alloc-ok amortized: pooled walker history grows to working size, then is reused
 		}
 		for i := 0; i < histLen; i++ {
 			w.History[i] = binary.LittleEndian.Uint32(buf[4*i:])
@@ -205,12 +209,12 @@ func decodeWalkerInto(w *Walker, buf []byte) ([]byte, error) {
 	}
 	if pathLen > 0 {
 		if len(buf) < 4*pathLen {
-			return nil, fmt.Errorf("core: truncated walker path")
+			return nil, fmt.Errorf("core: truncated walker path") //kk:alloc-ok error path: a corrupt walker record aborts the run, never steady state
 		}
 		if cap(w.Path) >= pathLen {
 			w.Path = w.Path[:pathLen]
 		} else {
-			w.Path = make([]graph.VertexID, 0, pathLen+16)[:pathLen]
+			w.Path = make([]graph.VertexID, 0, pathLen+16)[:pathLen] //kk:alloc-ok amortized: pooled walker path grows to working size, then is reused
 		}
 		for i := 0; i < pathLen; i++ {
 			w.Path[i] = binary.LittleEndian.Uint32(buf[4*i:])

@@ -27,6 +27,13 @@ type Analyzer struct {
 	// pass.Report. The returned value is the analyzer's result (e.g. the
 	// waivers detrand recorded); drivers may expose it.
 	Run func(pass *Pass) (interface{}, error)
+	// Facts marks an analyzer that exports cross-package facts. Drivers
+	// run only Facts analyzers over dependency-only units (standalone
+	// deps outside the requested patterns, vet's VetxOnly units) so
+	// downstream packages see their callees' contracts without paying
+	// for — or panicking in — full analysis of code that was never a
+	// lint target (e.g. the standard library).
+	Facts bool
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -50,6 +57,30 @@ type Pass struct {
 	TypesSizes types.Sizes
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// ImportFacts returns the facts blob this same analyzer exported for a
+	// previously analyzed package (by import path), or nil when none exist.
+	// Drivers that do not support facts leave it nil; analyzers must treat
+	// a nil blob as "no information", not as a violation.
+	ImportFacts func(pkgPath string) []byte
+	// ExportFacts records this package's facts blob (opaque to the driver,
+	// conventionally JSON) for downstream packages' ImportFacts. Nil when
+	// the driver does not support facts.
+	ExportFacts func(blob []byte)
+}
+
+// ReadFacts is the nil-safe ImportFacts accessor.
+func (p *Pass) ReadFacts(pkgPath string) []byte {
+	if p.ImportFacts == nil {
+		return nil
+	}
+	return p.ImportFacts(pkgPath)
+}
+
+// WriteFacts is the nil-safe ExportFacts accessor.
+func (p *Pass) WriteFacts(blob []byte) {
+	if p.ExportFacts != nil {
+		p.ExportFacts(blob)
+	}
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,246 @@
+// Call-graph construction for the interprocedural analyzers (hotalloc,
+// barrierphase, goroleak). The graph is built once per package from the
+// type-checked syntax and shared across analyzers via a per-Pass cache;
+// callees are resolved statically within the package (direct function
+// calls, method calls on concrete receivers). Calls through interfaces or
+// function values have no resolvable callee and appear as dynamic sites —
+// analyzers decide per-contract whether a dynamic site is a finding or a
+// documented blind spot.
+//
+// Cross-package resolution rides on the driver's facts plumbing (see
+// Pass.ImportFacts/ExportFacts in analysis.go): a package exports
+// per-function summaries keyed by types.Func.FullName, and callers look
+// those up instead of re-analyzing bodies they cannot see.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive is one `//kk:<name> <args>` annotation from a declaration's
+// doc comment, e.g. `//kk:hotpath` or `//kk:phase compute,barrier`.
+type Directive struct {
+	Name string // without the "kk:" prefix, e.g. "hotpath", "phase"
+	Args string // trimmed text after the name, may be empty
+	Pos  token.Pos
+}
+
+// CallSite is one static call inside a function body.
+type CallSite struct {
+	Call *ast.CallExpr
+	// Callee is the resolved target, nil for dynamic calls (interface
+	// methods, function values). Builtins and type conversions are not
+	// recorded as call sites at all.
+	Callee *types.Func
+	// InFuncLit marks calls that occur inside a function literal nested in
+	// the declaring function. They are attributed to the enclosing
+	// declaration: a closure defined on the hot path runs on the hot path.
+	InFuncLit bool
+}
+
+// FuncNode is one declared function or method with its resolved call sites
+// and parsed annotations.
+type FuncNode struct {
+	Fn         *types.Func
+	Decl       *ast.FuncDecl
+	File       *ast.File
+	Directives []Directive
+	Calls      []CallSite
+	// FuncLits are the function literals nested anywhere in the body.
+	FuncLits []*ast.FuncLit
+}
+
+// Directive returns the first directive with the given name, if any.
+func (n *FuncNode) Directive(name string) (Directive, bool) {
+	for _, d := range n.Directives {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// CallGraph is the package's static call graph.
+type CallGraph struct {
+	Pass *Pass
+	// Nodes maps every function/method declared in the package (with a
+	// body) to its node.
+	Nodes map[*types.Func]*FuncNode
+	// callers is the reverse edge set, built lazily by Callers.
+	callers map[*types.Func][]*FuncNode
+}
+
+// passCaches memoizes one CallGraph per Pass so the analyzers that share a
+// driver invocation build it once.
+var passCaches = map[*Pass]*CallGraph{}
+
+// BuildCallGraph returns the package call graph for pass, building it on
+// first use and caching it on the pass afterwards.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	if g, ok := passCaches[pass]; ok {
+		return g
+	}
+	g := &CallGraph{Pass: pass, Nodes: make(map[*types.Func]*FuncNode)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{
+				Fn:         fn,
+				Decl:       fd,
+				File:       file,
+				Directives: ParseDirectives(fd.Doc),
+			}
+			g.collectCalls(node, fd.Body, false)
+			g.Nodes[fn] = node
+		}
+	}
+	passCaches[pass] = g
+	return g
+}
+
+// collectCalls walks body recording call sites and nested function
+// literals on node.
+func (g *CallGraph) collectCalls(node *FuncNode, body ast.Node, inLit bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			node.FuncLits = append(node.FuncLits, n)
+			g.collectCalls(node, n.Body, true)
+			return false
+		case *ast.CallExpr:
+			if tv, ok := g.Pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			callee := CalleeOf(g.Pass.TypesInfo, n)
+			if callee == nil {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := g.Pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						return true
+					}
+				}
+			}
+			node.Calls = append(node.Calls, CallSite{Call: n, Callee: callee, InFuncLit: inLit})
+		}
+		return true
+	})
+}
+
+// CalleeOf statically resolves a call's target function: a package-level
+// function, or a method on a concrete (non-interface) receiver. Returns
+// nil for builtins, conversions, interface-method and function-value calls.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			// An interface-typed receiver makes the call dynamic.
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				return nil
+			}
+			return fn
+		}
+		// Qualified package call: pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the node for fn, or nil when fn is not declared (with a
+// body) in this package.
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	return g.Nodes[fn]
+}
+
+// Reachable computes the within-package transitive closure of callees from
+// the given roots. When stop is non-nil, propagation does not descend
+// through nodes for which stop returns true (the node itself is still
+// included if it is a root); barrierphase uses this to let a function's
+// own //kk:phase annotation override what it inherits from callers.
+func (g *CallGraph) Reachable(roots []*types.Func, stop func(*FuncNode) bool) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		node := g.Nodes[fn]
+		if node == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, cs := range node.Calls {
+			if cs.Callee == nil {
+				continue
+			}
+			callee := g.Nodes[cs.Callee]
+			if callee == nil || (stop != nil && stop(callee)) {
+				continue
+			}
+			visit(cs.Callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// Callers returns the in-package functions containing a resolved call to fn.
+func (g *CallGraph) Callers(fn *types.Func) []*FuncNode {
+	if g.callers == nil {
+		g.callers = make(map[*types.Func][]*FuncNode)
+		for _, node := range g.Nodes {
+			seen := make(map[*types.Func]bool)
+			for _, cs := range node.Calls {
+				if cs.Callee != nil && !seen[cs.Callee] {
+					seen[cs.Callee] = true
+					g.callers[cs.Callee] = append(g.callers[cs.Callee], node)
+				}
+			}
+		}
+	}
+	return g.callers[fn]
+}
+
+// ParseDirectives extracts the `//kk:<name> <args>` lines from a doc
+// comment group.
+func ParseDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "kk:") {
+			continue
+		}
+		rest := strings.TrimPrefix(text, "kk:")
+		name := rest
+		args := ""
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			name, args = rest[:i], strings.TrimSpace(rest[i+1:])
+		}
+		out = append(out, Directive{Name: name, Args: args, Pos: c.Pos()})
+	}
+	return out
+}

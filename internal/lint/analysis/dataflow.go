@@ -1,0 +1,263 @@
+// Interprocedural dataflow summaries over the package call graph. Each
+// summary is computed once per function and cached on the Summaries value;
+// propagation runs to a fixpoint so mutually recursive functions converge.
+//
+// Two summaries are provided, both consumed by barrierphase's generalized
+// hook-passivity rule (and reusable by future analyzers):
+//
+//   - write-through: which of a function's parameters (receiver included)
+//     it may write through — directly (`p.X = v`, `*p = v`, `m[k] = v`) or
+//     by passing the parameter to an in-package callee that writes through
+//     the corresponding position.
+//   - channel-send: whether a function may perform a channel send,
+//     directly or via an in-package callee.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParamWrites summarizes one function: element i reports whether parameter
+// i may be written through. The receiver, when present, is element 0 and
+// the declared parameters follow (matching paramObjs ordering).
+type ParamWrites []bool
+
+// Summaries caches per-function dataflow facts for one package.
+type Summaries struct {
+	g *CallGraph
+	// writes[fn] is fn's ParamWrites summary.
+	writes map[*types.Func]ParamWrites
+	// sends[fn] reports whether fn may send on a channel. The position is
+	// the first direct send found (token.NoPos when the send is indirect).
+	sends map[*types.Func]token.Pos
+	// params[fn] is fn's receiver+parameter objects in summary order.
+	params map[*types.Func][]types.Object
+}
+
+// Summarize computes the write-through and channel-send summaries for
+// every function in the package, iterating to a fixpoint.
+func Summarize(g *CallGraph) *Summaries {
+	s := &Summaries{
+		g:      g,
+		writes: make(map[*types.Func]ParamWrites),
+		sends:  make(map[*types.Func]token.Pos),
+		params: make(map[*types.Func][]types.Object),
+	}
+	for fn, node := range g.Nodes {
+		s.params[fn] = paramObjs(g.Pass.TypesInfo, node.Decl)
+		s.writes[fn] = make(ParamWrites, len(s.params[fn]))
+	}
+	// Seed with the direct facts, then propagate through call sites until
+	// nothing changes.
+	for fn, node := range g.Nodes {
+		s.seedDirect(fn, node)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, node := range g.Nodes {
+			if s.propagate(fn, node) {
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// WritesThrough reports whether fn may write through the parameter (or
+// receiver) declared by obj.
+func (s *Summaries) WritesThrough(fn *types.Func, obj types.Object) bool {
+	w := s.writes[fn]
+	for i, p := range s.params[fn] {
+		if p == obj && i < len(w) {
+			return w[i]
+		}
+	}
+	return false
+}
+
+// ParamWritesOf returns fn's write-through summary (receiver first), nil
+// when fn is not declared in this package.
+func (s *Summaries) ParamWritesOf(fn *types.Func) ParamWrites { return s.writes[fn] }
+
+// Sends reports whether fn may perform a channel send; pos is the first
+// direct send statement when the send is in fn's own body.
+func (s *Summaries) Sends(fn *types.Func) (pos token.Pos, ok bool) {
+	p, ok := s.sends[fn]
+	return p, ok
+}
+
+// AliasesCaller reports whether writing through a value of type t can
+// mutate memory the caller sees: pointers, maps, and slices alias; a
+// by-value struct or array is the callee's own copy, so `p.X = v` on it
+// is local. (A by-value struct holding a pointer that is then written
+// through is a documented false negative — the walk-path types don't use
+// that shape.)
+func AliasesCaller(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// paramObjs collects the receiver (if any) followed by the declared
+// parameters of fd as type-checker objects.
+func paramObjs(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	lists := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil) // unnamed: cannot be written through
+				continue
+			}
+			for _, name := range f.Names {
+				out = append(out, info.Defs[name])
+			}
+		}
+	}
+	return out
+}
+
+// seedDirect records fn's own writes-through and channel sends.
+func (s *Summaries) seedDirect(fn *types.Func, node *FuncNode) {
+	info := s.g.Pass.TypesInfo
+	mark := func(obj types.Object) {
+		for i, p := range s.params[fn] {
+			if p != nil && p == obj {
+				s.writes[fn][i] = true
+			}
+		}
+	}
+	markLHS := func(lhs ast.Expr) {
+		if _, isIdent := lhs.(*ast.Ident); isIdent {
+			return // rebinding a local copy, not a write through
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		if obj := objOf(info, root); obj != nil && AliasesCaller(obj.Type()) {
+			mark(obj)
+		}
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			markLHS(n.X)
+		case *ast.SendStmt:
+			if _, ok := s.sends[fn]; !ok {
+				s.sends[fn] = n.Arrow
+			}
+		}
+		return true
+	})
+}
+
+// propagate folds callee summaries into fn's: a parameter passed to an
+// in-package callee position that is written through is itself written
+// through, and calling a sender makes fn a sender. Reports whether fn's
+// summary changed.
+func (s *Summaries) propagate(fn *types.Func, node *FuncNode) bool {
+	info := s.g.Pass.TypesInfo
+	changed := false
+	for _, cs := range node.Calls {
+		callee := cs.Callee
+		if callee == nil || s.g.Nodes[callee] == nil {
+			continue
+		}
+		if _, sends := s.sends[callee]; sends {
+			if _, ok := s.sends[fn]; !ok {
+				s.sends[fn] = token.NoPos
+				changed = true
+			}
+		}
+		cw := s.writes[callee]
+		if len(cw) == 0 {
+			continue
+		}
+		// Align arguments with the callee's summary: receiver first for
+		// method calls, then positional arguments. Variadic tail positions
+		// all map to the last summary slot.
+		args := calleeArgs(info, cs.Call, callee)
+		for i, arg := range args {
+			if i >= len(cw) || !cw[i] || arg == nil {
+				continue
+			}
+			root := rootIdent(arg)
+			if root == nil {
+				continue
+			}
+			obj := objOf(info, root)
+			if obj == nil {
+				continue
+			}
+			for j, p := range s.params[fn] {
+				if p == obj && !s.writes[fn][j] {
+					s.writes[fn][j] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// calleeArgs returns the expressions feeding each of callee's summary
+// positions: the receiver expression (for method values), then the call
+// arguments.
+func calleeArgs(info *types.Info, call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	var out []ast.Expr
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out = append(out, sel.X)
+		} else {
+			out = append(out, nil)
+		}
+	}
+	out = append(out, call.Args...)
+	return out
+}
+
+// rootIdent unwraps selectors, indexes, slices, stars, parens, and type
+// assertions down to the base identifier (a local copy of
+// lintutil.Root, duplicated to keep this package dependency-free).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

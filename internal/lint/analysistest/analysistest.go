@@ -48,20 +48,31 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []Resul
 		infos:   make(map[string]*pkgInfo),
 	}
 	var results []Result
+	// Facts flow between fixture packages in argument order: list
+	// dependencies before their dependents, as the driver's go list -deps
+	// ordering does for real packages.
+	factsByPkg := make(map[string][]byte)
 	for _, pkg := range pkgs {
 		info, err := ld.load(pkg)
 		if err != nil {
 			t.Fatalf("loading fixture package %s: %v", pkg, err)
 		}
 		var diags []analysis.Diagnostic
+		pkgPath := pkg
 		pass := &analysis.Pass{
-			Analyzer:   a,
-			Fset:       ld.fset,
-			Files:      info.files,
-			Pkg:        info.pkg,
-			TypesInfo:  info.info,
-			TypesSizes: types.SizesFor("gc", "amd64"),
-			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Analyzer:    a,
+			Fset:        ld.fset,
+			Files:       info.files,
+			Pkg:         info.pkg,
+			TypesInfo:   info.info,
+			TypesSizes:  types.SizesFor("gc", "amd64"),
+			Report:      func(d analysis.Diagnostic) { diags = append(diags, d) },
+			ImportFacts: func(path string) []byte { return factsByPkg[path] },
+			ExportFacts: func(blob []byte) {
+				if blob != nil {
+					factsByPkg[pkgPath] = blob
+				}
+			},
 		}
 		value, err := a.Run(pass)
 		if err != nil {

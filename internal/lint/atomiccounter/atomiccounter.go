@@ -1,5 +1,5 @@
 // Package atomiccounter implements the kklint analyzer guarding the
-// stats-counter and observer contracts:
+// stats-counter contracts:
 //
 //  1. Mixed atomicity. A plain integer word whose address is ever passed
 //     to a sync/atomic function is an "atomic word"; every other access
@@ -12,36 +12,32 @@
 //     per the sync/atomic bug note; the analyzer computes offsets with
 //     types.SizesFor("gc", "386") so the mistake is caught on amd64
 //     developer machines.
-//  3. Observer passivity. Implementations of any interface named
-//     `*Observer` (core.Observer, transport.Observer, fixtures) may
-//     accumulate into their own receiver, but must not write to state
-//     reachable from hook parameters — hooks observe the engine, they
-//     never steer it.
+//
+// The observer-passivity rule that used to live here moved to the
+// barrierphase analyzer, which generalizes it to Tracer interfaces,
+// channel sends, and interprocedural write-through.
 package atomiccounter
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"knightking/internal/lint/analysis"
 	"knightking/internal/lint/lintutil"
 )
 
-// Analyzer is the counter/observer check.
+// Analyzer is the counter check.
 var Analyzer = &analysis.Analyzer{
 	Name: "atomiccounter",
-	Doc: "enforce sync/atomic discipline on counter words and passivity of Observer hooks\n\n" +
-		"Counter words touched by sync/atomic anywhere must be touched by it everywhere, " +
-		"64-bit fields must stay 8-byte aligned under 32-bit layout, and Observer hook " +
-		"implementations must not write through their parameters.",
+	Doc: "enforce sync/atomic discipline on counter words\n\n" +
+		"Counter words touched by sync/atomic anywhere must be touched by it everywhere, and " +
+		"64-bit fields must stay 8-byte aligned under 32-bit layout.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	checkAtomicWords(pass)
-	checkObserverPassivity(pass)
 	return nil, nil
 }
 
@@ -103,10 +99,17 @@ func checkAtomicWords(pass *analysis.Pass) {
 				return true
 			}
 			fields := make([]*types.Var, styp.NumFields())
+			atomicWord := false
 			for i := range fields {
 				fields[i] = styp.Field(i)
+				if words[fields[i]] {
+					atomicWord = true
+				}
 			}
-			if len(fields) == 0 {
+			// Only structs holding an atomic word need layout math; skipping
+			// the rest also keeps Offsetsof away from generic types (type
+			// parameters have no concrete size and make gcSizes panic).
+			if !atomicWord {
 				return true
 			}
 			offsets := sizes386.Offsetsof(fields)
@@ -209,126 +212,3 @@ func fieldPos(st *ast.StructType, i int, f *types.Var) token.Pos {
 	return f.Pos()
 }
 
-// --- rule 3: observer passivity ---
-
-func checkObserverPassivity(pass *analysis.Pass) {
-	ifaces := observerInterfaces(pass.Pkg)
-	if len(ifaces) == 0 {
-		return
-	}
-	info := pass.TypesInfo
-	for _, file := range pass.Files {
-		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
-			continue
-		}
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil {
-				continue
-			}
-			fn, ok := info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			recv := fn.Type().(*types.Signature).Recv().Type()
-			if !isObserverHook(recv, fd.Name.Name, ifaces) {
-				continue
-			}
-			params := make(map[types.Object]bool)
-			for _, f := range fd.Type.Params.List {
-				for _, name := range f.Names {
-					if obj := info.Defs[name]; obj != nil {
-						params[obj] = true
-					}
-				}
-			}
-			checkHookBody(pass, fd, params)
-		}
-	}
-}
-
-// observerInterfaces collects every interface named `*Observer` visible
-// to the package: its own scope plus direct imports (so obs.Registry is
-// checked against core.Observer and transport.Observer).
-func observerInterfaces(pkg *types.Package) []*types.Interface {
-	var out []*types.Interface
-	scopes := []*types.Scope{pkg.Scope()}
-	for _, imp := range pkg.Imports() {
-		scopes = append(scopes, imp.Scope())
-	}
-	for _, scope := range scopes {
-		for _, name := range scope.Names() {
-			if !strings.HasSuffix(name, "Observer") {
-				continue
-			}
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok {
-				continue
-			}
-			iface, ok := tn.Type().Underlying().(*types.Interface)
-			if !ok || iface.NumMethods() == 0 {
-				continue
-			}
-			out = append(out, iface)
-		}
-	}
-	return out
-}
-
-// isObserverHook reports whether method name on receiver type recv is a
-// hook of one of the observer interfaces.
-func isObserverHook(recv types.Type, name string, ifaces []*types.Interface) bool {
-	for _, iface := range ifaces {
-		implements := types.Implements(recv, iface)
-		if !implements {
-			if _, isPtr := recv.(*types.Pointer); !isPtr {
-				implements = types.Implements(types.NewPointer(recv), iface)
-			}
-		}
-		if !implements {
-			continue
-		}
-		for i := 0; i < iface.NumMethods(); i++ {
-			if iface.Method(i).Name() == name {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// checkHookBody flags writes through hook parameters. Rebinding the
-// parameter itself (`n++` on a value copy) is harmless; writing through
-// it (`span.Steps = 0`, `m[k] = v`, `*p = x`) mutates engine state the
-// hook was only shown.
-func checkHookBody(pass *analysis.Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
-	report := func(lhs ast.Expr) {
-		root := lintutil.Root(lhs)
-		if root == nil {
-			return
-		}
-		obj := lintutil.ObjOf(pass.TypesInfo, root)
-		if obj == nil || !params[obj] {
-			return
-		}
-		pass.Reportf(lhs.Pos(),
-			"observer hook %s must be passive: this writes state reachable from hook parameter %s",
-			fd.Name.Name, root.Name)
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				if _, isIdent := lhs.(*ast.Ident); isIdent {
-					continue // rebinding a local copy, not a write-through
-				}
-				report(lhs)
-			}
-		case *ast.IncDecStmt:
-			if _, isIdent := n.X.(*ast.Ident); !isIdent {
-				report(n.X)
-			}
-		}
-		return true
-	})
-}

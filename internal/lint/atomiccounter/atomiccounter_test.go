@@ -7,5 +7,5 @@ import (
 )
 
 func TestAtomicCounter(t *testing.T) {
-	analysistest.Run(t, "testdata", Analyzer, "atomdemo", "obsdemo", "obsimpl")
+	analysistest.Run(t, "testdata", Analyzer, "atomdemo")
 }

@@ -1,0 +1,20 @@
+package barrierphase_test
+
+import (
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+	"knightking/internal/lint/barrierphase"
+)
+
+func TestPhaseDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", barrierphase.Analyzer, "phasedemo")
+}
+
+func TestObserverPassivity(t *testing.T) {
+	analysistest.Run(t, "testdata", barrierphase.Analyzer, "obsdemo", "obsimpl")
+}
+
+func TestTracerPassivity(t *testing.T) {
+	analysistest.Run(t, "testdata", barrierphase.Analyzer, "hookdemo")
+}

@@ -1,0 +1,42 @@
+// Package hookdemo exercises the generalized hook-passivity rule: Tracer
+// interfaces, channel sends (direct and via a callee), and interprocedural
+// write-through via the dataflow summaries.
+package hookdemo
+
+// Span is what hooks are shown.
+type Span struct{ Steps int64 }
+
+// Tracer is a hook interface by the *Tracer naming convention.
+type Tracer interface {
+	OnEvent(s *Span)
+}
+
+// chatty steers the engine three ways: it hands its parameter to a writer,
+// sends on a channel, and calls a sender.
+type chatty struct{ ch chan int }
+
+func (c *chatty) OnEvent(s *Span) {
+	scrub(s)     // want "call passes hook parameter s to scrub, which writes through it"
+	c.ch <- 1    // want "tracer hook OnEvent must be passive: channel send inside a hook"
+	notify(c.ch) // want "calls notify, which sends on a channel"
+}
+
+// scrub writes through its parameter — indirectly, via reset, so the
+// summary must propagate through two in-package hops.
+func scrub(s *Span) { reset(s) }
+
+func reset(s *Span) { s.Steps = 0 }
+
+func notify(ch chan int) { ch <- 2 }
+
+// quiet is well-behaved: it accumulates into its receiver and passes its
+// receiver (not the hook parameter) to an in-package writer.
+type quiet struct{ total int64 }
+
+func (q *quiet) OnEvent(s *Span) {
+	q.total += s.Steps
+	record(q, s)
+}
+
+// record writes through q only; the s position stays clean in its summary.
+func record(q *quiet, s *Span) { q.total += s.Steps }

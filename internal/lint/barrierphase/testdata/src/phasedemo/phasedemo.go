@@ -1,0 +1,54 @@
+// Package phasedemo exercises the phase-discipline rule: //kk:phase field
+// tags, function annotations, inheritance through the call graph, and the
+// annotation-overrides-inheritance cut.
+package phasedemo
+
+type engine struct {
+	walkers  []int //kk:phase compute
+	samplers []int //kk:phase barrier,setup
+	plain    int
+}
+
+// newEngine builds the whole struct; composite-literal construction is
+// not a phase-domain write.
+func newEngine() *engine {
+	return &engine{walkers: []int{1}, samplers: []int{2}}
+}
+
+// run drives one superstep in the barrier phase. Its own annotation does
+// not leak into compute, which carries its own.
+//
+//kk:phase barrier
+func run(e *engine) {
+	e.samplers[0] = 1 // barrier is on the field's phase list: fine
+	e.walkers = nil   // want "field walkers .phase compute. written in run, which runs in phase barrier"
+	compute(e)
+}
+
+// compute is the compute-phase root.
+//
+//kk:phase compute
+func compute(e *engine) {
+	e.walkers = append(e.walkers, 1)
+	helper(e)
+}
+
+// helper has no annotation of its own: it inherits compute from its
+// caller, and only compute — run's barrier phase stops at compute.
+func helper(e *engine) {
+	e.walkers[0] = 2
+	e.samplers[0] = 3 // want "field samplers .phase barrier,setup. written in helper, which runs in phase compute"
+	e.plain = 4
+	e.plain++
+}
+
+// loose is unreachable from any annotated root; phase-tagged state must
+// not move outside the superstep structure.
+func loose(e *engine) {
+	e.walkers = nil // want "written in loose, which is not reachable from any //kk:phase root"
+}
+
+type sloppy struct {
+	//kk:phase
+	x int // want "//kk:phase tag needs at least one phase name"
+}

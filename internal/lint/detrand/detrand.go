@@ -33,8 +33,8 @@ import (
 // DefaultPackages is the deterministic set: every package whose output is
 // pinned by golden tests to be a pure function of the seed. internal/obs
 // and internal/bench are deliberately absent — they measure wall time by
-// design and are kept away from walk state by the atomiccounter analyzer's
-// observer-passivity rule instead. internal/service is likewise absent:
+// design and are kept away from walk state by the barrierphase analyzer's
+// hook-passivity rule instead. internal/service is likewise absent:
 // a job server timestamps lifecycle transitions by design, and every
 // engine run it launches is covered transitively (core and below stay in
 // the set; the payloadown and atomiccounter analyzers still apply to the
@@ -99,15 +99,7 @@ func run(pass *analysis.Pass, deterministic map[string]bool) ([]lintutil.Waiver,
 	// waive reports the finding at pos unless a reasoned waiver comment is
 	// attached, in which case the waiver is recorded instead.
 	waive := func(file *ast.File, pos token.Pos, msg string) {
-		reason, found := lintutil.FindWaiver(pass.Fset, file, pos, lintutil.WaiverMarker)
-		switch {
-		case !found:
-			pass.Reportf(pos, "%s", msg)
-		case reason == "":
-			pass.Reportf(pos, "//%s waiver needs a reason", lintutil.WaiverMarker)
-		default:
-			waivers = append(waivers, lintutil.Waiver{Pos: pos, Reason: reason})
-		}
+		lintutil.Waive(pass, pass.Fset, file, &waivers, lintutil.WaiverMarker, pos, msg)
 	}
 
 	for _, file := range pass.Files {

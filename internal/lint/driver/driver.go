@@ -11,6 +11,14 @@
 // Both modes use only the standard library: the repo has no external
 // dependencies, so the usual x/tools loaders are reimplemented here on
 // top of go/importer.
+//
+// Cross-package facts: interprocedural analyzers (hotalloc) export a
+// per-package JSON blob and read the blobs of the packages they import.
+// Standalone exploits `go list -deps` dependency ordering to propagate
+// the blobs in-memory — module dependencies outside the requested
+// patterns are analyzed facts-only (diagnostics suppressed) so callers
+// always see their callees' contracts. Unitchecker carries the blobs in
+// the vetx files cmd/go threads between compilation units.
 package driver
 
 import (
@@ -40,18 +48,57 @@ type Diag struct {
 	Message  string
 }
 
-// Waiver is one accepted //kk:nondet-ok comment, with position resolved.
+// Waiver is one accepted waiver comment, with position resolved.
 type Waiver struct {
 	Pos    token.Position
+	Marker string
 	Reason string
 }
 
-// analyze applies every analyzer to one type-checked package.
+// Options selects Standalone's optional behaviors.
+type Options struct {
+	// Waivers prints every accepted waiver after the diagnostics and
+	// fails the run when a waiver marker in the analyzed files no longer
+	// suppresses any diagnostic (a stale waiver).
+	Waivers bool
+	// Tests analyzes test variants: `go list -test` replaces each package
+	// that has tests with its "pkg [pkg.test]" variant (regular + test
+	// files) and adds the external "pkg_test" package.
+	Tests bool
+}
+
+// facts is the cross-package blob store: analyzer name → canonical
+// package path → blob.
+type facts map[string]map[string][]byte
+
+// factsOnly filters analyzers down to the ones that export cross-package
+// facts. Dependency-only units (standalone deps outside the requested
+// patterns, vet's VetxOnly units — including the standard library) run
+// only these: downstream packages still see their callees' contracts,
+// and non-fact analyzers never run over code that was never a lint
+// target.
+func factsOnly(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.Facts {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// analyze applies every analyzer to one type-checked package, threading
+// the facts store through each pass.
 func analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info) ([]Diag, []Waiver, error) {
+	pkg *types.Package, info *types.Info, fs facts) ([]Diag, []Waiver, error) {
 	var diags []Diag
 	var waivers []Waiver
 	for _, a := range analyzers {
+		blobs := fs[a.Name]
+		if blobs == nil {
+			blobs = make(map[string][]byte)
+			fs[a.Name] = blobs
+		}
 		pass := &analysis.Pass{
 			Analyzer:   a,
 			Fset:       fset,
@@ -66,6 +113,12 @@ func analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.F
 					Message:  d.Message,
 				})
 			},
+			ImportFacts: func(path string) []byte { return blobs[path] },
+			ExportFacts: func(blob []byte) {
+				if blob != nil {
+					blobs[pkg.Path()] = blob
+				}
+			},
 		}
 		value, err := a.Run(pass)
 		if err != nil {
@@ -73,7 +126,11 @@ func analyze(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.F
 		}
 		if ws, ok := value.([]lintutil.Waiver); ok {
 			for _, w := range ws {
-				waivers = append(waivers, Waiver{Pos: fset.Position(w.Pos), Reason: w.Reason})
+				waivers = append(waivers, Waiver{
+					Pos:    fset.Position(w.Pos),
+					Marker: w.Marker,
+					Reason: w.Reason,
+				})
 			}
 		}
 	}
@@ -88,15 +145,23 @@ type listPkg struct {
 	GoFiles    []string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
 	Error      *struct{ Err string }
 }
 
 // Standalone runs the analyzers over the packages matched by patterns.
 // Diagnostics and (optionally) recorded waivers go to out; loader errors
-// to errw. Returns the process exit code: 0 clean, 1 findings, 2 errors.
-func Standalone(analyzers []*analysis.Analyzer, patterns []string, showWaivers bool, out, errw io.Writer) int {
-	args := append([]string{"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+// to errw. Returns the process exit code: 0 clean, 1 findings (or stale
+// waivers), 2 errors — including patterns that match no packages.
+func Standalone(analyzers []*analysis.Analyzer, patterns []string, opts Options, out, errw io.Writer) int {
+	args := []string{"list", "-export", "-deps"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args,
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,ForTest,ImportMap,Error")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = errw
 	stdout, err := cmd.StdoutPipe()
@@ -109,7 +174,7 @@ func Standalone(analyzers []*analysis.Analyzer, patterns []string, showWaivers b
 		return 2
 	}
 	exports := make(map[string]string)
-	var targets []listPkg
+	var pkgs []listPkg
 	dec := json.NewDecoder(stdout)
 	for {
 		var p listPkg
@@ -126,34 +191,79 @@ func Standalone(analyzers []*analysis.Analyzer, patterns []string, showWaivers b
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
-		}
+		pkgs = append(pkgs, p)
 	}
 	if err := cmd.Wait(); err != nil {
 		fmt.Fprintf(errw, "kklint: go list: %v\n", err)
 		return 2
 	}
 
-	fset := token.NewFileSet()
-	imp := exportImporter{importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+	// A package shadowed by its internal test variant ("X [X.test]")
+	// contributes facts only; the variant carries the diagnostics for the
+	// same files plus the test files.
+	shadowed := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+			shadowed[p.ForTest] = true
 		}
-		return os.Open(file)
-	})}
+	}
+	isTarget := func(p listPkg) bool {
+		return !p.Standard && !p.DepOnly &&
+			!strings.HasSuffix(p.ImportPath, ".test") && // generated test main
+			!shadowed[p.ImportPath]
+	}
+	nTargets := 0
+	for _, p := range pkgs {
+		if isTarget(p) {
+			nTargets++
+		}
+	}
+	if nTargets == 0 {
+		fmt.Fprintf(errw, "kklint: no packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
 
+	fset := token.NewFileSet()
+	// One importer per analyzed package: each package's ImportMap decides
+	// which export file an import path resolves to (test variants remap
+	// their own package), so importer caches must not leak across units.
+	newImporter := func(importMap map[string]string) types.Importer {
+		return exportImporter{importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			if canonical, ok := importMap[path]; ok {
+				path = canonical
+			}
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})}
+	}
+
+	fs := make(facts)
 	var allDiags []Diag
 	var allWaivers []Waiver
+	var targetFiles []*ast.File
 	code := 0
-	for _, p := range targets {
-		if len(p.GoFiles) == 0 {
+	// pkgs is in dependency order (go list -deps), so a package's facts
+	// are always exported before its dependents are analyzed.
+	for _, p := range pkgs {
+		if p.Standard || strings.HasSuffix(p.ImportPath, ".test") || len(p.GoFiles) == 0 {
 			continue
+		}
+		toRun := analyzers
+		if !isTarget(p) {
+			if toRun = factsOnly(analyzers); len(toRun) == 0 {
+				continue
+			}
 		}
 		var files []*ast.File
 		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 			if err != nil {
 				fmt.Fprintf(errw, "kklint: %v\n", err)
 				return 2
@@ -161,33 +271,78 @@ func Standalone(analyzers []*analysis.Analyzer, patterns []string, showWaivers b
 			files = append(files, f)
 		}
 		info := analysis.NewInfo()
-		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
-		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		conf := types.Config{Importer: newImporter(p.ImportMap), Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		pkg, err := conf.Check(stripVariant(p.ImportPath), fset, files, info)
 		if err != nil {
 			fmt.Fprintf(errw, "kklint: typechecking %s: %v\n", p.ImportPath, err)
 			return 2
 		}
-		diags, waivers, err := analyze(analyzers, fset, files, pkg, info)
+		diags, waivers, err := analyze(toRun, fset, files, pkg, info, fs)
 		if err != nil {
 			fmt.Fprintf(errw, "kklint: %v\n", err)
 			return 2
 		}
-		allDiags = append(allDiags, diags...)
-		allWaivers = append(allWaivers, waivers...)
+		if isTarget(p) {
+			allDiags = append(allDiags, diags...)
+			allWaivers = append(allWaivers, waivers...)
+			targetFiles = append(targetFiles, files...)
+		}
 	}
 
 	sort.Slice(allDiags, func(i, j int) bool { return posLess(allDiags[i].Pos, allDiags[j].Pos) })
-	sort.Slice(allWaivers, func(i, j int) bool { return posLess(allWaivers[i].Pos, allWaivers[j].Pos) })
 	for _, d := range allDiags {
 		fmt.Fprintf(out, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
 		code = 1
 	}
-	if showWaivers {
-		for _, w := range allWaivers {
-			fmt.Fprintf(out, "%s: waived: %s\n", w.Pos, w.Reason)
+	if opts.Waivers {
+		if staleCode := auditWaivers(fset, targetFiles, allWaivers, out); staleCode != 0 && code == 0 {
+			code = staleCode
 		}
 	}
 	return code
+}
+
+// auditWaivers prints the accepted waivers (deduplicated — two findings
+// can share one comment) and flags every waiver-marker comment in the
+// analyzed files that no analyzer accepted: a stale waiver suppresses
+// nothing and must be removed. Returns 1 when stale waivers exist.
+func auditWaivers(fset *token.FileSet, files []*ast.File, accepted []Waiver, out io.Writer) int {
+	acceptedAt := make(map[string]bool)
+	var uniq []Waiver
+	for _, w := range accepted {
+		key := posKey(w.Pos)
+		if !acceptedAt[key] {
+			acceptedAt[key] = true
+			uniq = append(uniq, w)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return posLess(uniq[i].Pos, uniq[j].Pos) })
+	for _, w := range uniq {
+		fmt.Fprintf(out, "%s: waived: [%s] %s\n", w.Pos, w.Marker, w.Reason)
+	}
+
+	var stale []Waiver
+	for _, f := range files {
+		for _, m := range lintutil.MarkerComments(f) {
+			pos := fset.Position(m.Pos)
+			if !acceptedAt[posKey(pos)] {
+				stale = append(stale, Waiver{Pos: pos, Marker: m.Marker, Reason: m.Reason})
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return posLess(stale[i].Pos, stale[j].Pos) })
+	for _, s := range stale {
+		fmt.Fprintf(out, "%s: stale waiver: //%s no longer suppresses any diagnostic; remove it\n",
+			s.Pos, s.Marker)
+	}
+	if len(stale) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func posKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
 }
 
 func posLess(a, b token.Position) bool {

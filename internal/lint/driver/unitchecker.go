@@ -3,6 +3,12 @@
 // compilation unit, and expects diagnostics on stderr (exit 2) plus a
 // facts file written to VetxOutput. This mirrors
 // golang.org/x/tools/go/analysis/unitchecker without the dependency.
+//
+// The vetx file carries the analyzers' cross-package facts between
+// compilation units: a JSON object mapping analyzer name to its blob for
+// this package. Dependency facts arrive through PackageVetx; VetxOnly
+// units (dependencies vetted only for facts) run the analyzers with
+// diagnostics suppressed so their facts still flow downstream.
 package driver
 
 import (
@@ -54,17 +60,23 @@ func Unitchecker(analyzers []*analysis.Analyzer, cfgFile string, out io.Writer) 
 		return 1
 	}
 
-	// cmd/go requires the facts file to exist even when empty, and for
-	// VetxOnly units (dependencies vetted only for facts) nothing else.
-	// kklint's analyzers are fact-free, so the file is always empty.
+	// Dependency-only units (the standard library, module deps) exist
+	// solely so their facts flow downstream; run only the fact-exporting
+	// analyzers over them.
+	if cfg.VetxOnly {
+		analyzers = factsOnly(analyzers)
+	}
+
+	// cmd/go requires the facts file to exist even when the unit fails to
+	// analyze; start empty and overwrite with real facts after the run.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("{}"), 0o666); err != nil {
 			fmt.Fprintf(out, "kklint: %v\n", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
+	if len(analyzers) == 0 {
+		return 0 // VetxOnly unit, no fact exporters: the empty vetx suffices
 	}
 
 	fset := token.NewFileSet()
@@ -106,18 +118,72 @@ func Unitchecker(analyzers []*analysis.Analyzer, cfgFile string, out io.Writer) 
 		return 1
 	}
 
-	diags, _, err := analyze(analyzers, fset, files, pkg, info)
+	// Seed the facts store with the dependencies' vetx blobs so the
+	// per-pass ImportFacts lookups (keyed by canonical package path) hit.
+	fs := loadVetx(cfg, analyzers)
+	diags, _, err := analyze(analyzers, fset, files, pkg, info, fs)
 	if err != nil {
 		fmt.Fprintf(out, "kklint: %v\n", err)
 		return 1
 	}
-	if len(diags) == 0 {
+	if cfg.VetxOutput != "" {
+		if err := writeVetx(cfg.VetxOutput, pkg.Path(), fs); err != nil {
+			fmt.Fprintf(out, "kklint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(out, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
 	}
 	return 2
+}
+
+// loadVetx reads every dependency's vetx file into a facts store. Vetx
+// files are keyed by the unit's import-path spelling (test variants
+// included); blobs are stored under the canonical package path, which is
+// what analyzers look up via types.Package.Path.
+func loadVetx(cfg vetConfig, analyzers []*analysis.Analyzer) facts {
+	fs := make(facts)
+	for _, a := range analyzers {
+		fs[a.Name] = make(map[string][]byte)
+	}
+	for unitPath, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue // absent facts mean an exempt dependency, not an error
+		}
+		var blobs map[string][]byte
+		if json.Unmarshal(data, &blobs) != nil {
+			continue
+		}
+		canonical := stripVariant(unitPath)
+		for name, blob := range blobs {
+			if fs[name] == nil {
+				continue // facts from an analyzer this run does not carry
+			}
+			fs[name][canonical] = blob
+		}
+	}
+	return fs
+}
+
+// writeVetx persists this unit's own facts (one blob per exporting
+// analyzer) for downstream units.
+func writeVetx(path, pkgPath string, fs facts) error {
+	blobs := make(map[string][]byte)
+	for name, byPkg := range fs {
+		if blob, ok := byPkg[pkgPath]; ok {
+			blobs[name] = blob
+		}
+	}
+	data, err := json.Marshal(blobs)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 // goarch is the target architecture for layout decisions; cmd/go does not

@@ -1,0 +1,111 @@
+// Package errdrop implements the kklint analyzer forbidding silently
+// discarded error results in the deterministic walk-path packages. A
+// dropped error there is worse than a crash: the walk keeps going with
+// state the failed call never produced, and the divergence surfaces
+// superstep later as a nondeterminism bug.
+//
+// A call whose results include an error must consume it; using the call
+// as a bare statement (`enc.Encode(v)`) or deferring it (`defer
+// f.Close()`) is a finding. The sanctioned discard is an explicit blank
+// assignment (`_ = f.Close()`, `defer func() { _ = f.Close() }()`),
+// which is visible in review and greppable. There is no waiver marker:
+// `_ =` is the waiver, and it costs less than a comment.
+//
+// The scope is detrand's deterministic package set — the packages whose
+// outputs are pinned by golden tests — and, like detrand, test files are
+// exempt (the testing package's error discipline is t.Fatal).
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"knightking/internal/lint/analysis"
+	"knightking/internal/lint/detrand"
+	"knightking/internal/lint/lintutil"
+)
+
+// Analyzer checks the deterministic walk-path packages.
+var Analyzer = NewAnalyzer(detrand.DefaultPackages)
+
+// NewAnalyzer returns an errdrop instance scoped to the given
+// package-path set; tests scope it to fixture packages.
+func NewAnalyzer(scoped map[string]bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "errdrop",
+		Doc: "forbid silently discarded error results on the deterministic walk path\n\n" +
+			"Calls returning an error may not be used as bare or deferred statements; " +
+			"consume the error or discard it explicitly with `_ =`.",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			return run(pass, scoped)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, scoped map[string]bool) (interface{}, error) {
+	if !scoped[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkCall(pass, n.Call, "goroutine-spawned ")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall reports when call's results include an error that the
+// statement form necessarily discards.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.IsType() {
+		return
+	}
+	if !returnsError(tv.Type) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s%s is silently discarded; handle it or write `_ =` to discard it explicitly",
+		how, calleeName(call))
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether a call-result type includes error.
+func returnsError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+	default:
+		return types.Identical(t, errorType)
+	}
+	return false
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

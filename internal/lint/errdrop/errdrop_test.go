@@ -1,0 +1,22 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+	"knightking/internal/lint/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	a := errdrop.NewAnalyzer(map[string]bool{"errdemo": true})
+	analysistest.Run(t, "testdata", a, "errdemo")
+}
+
+// TestOutOfScope pins the package gate.
+func TestOutOfScope(t *testing.T) {
+	a := errdrop.NewAnalyzer(map[string]bool{"other": true})
+	res := analysistest.Run(t, "testdata", a, "errquiet")
+	if len(res[0].Diagnostics) != 0 {
+		t.Errorf("out-of-scope package produced diagnostics: %v", res[0].Diagnostics)
+	}
+}

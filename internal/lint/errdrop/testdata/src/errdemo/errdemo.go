@@ -1,0 +1,32 @@
+// Package errdemo exercises the errdrop analyzer: bare, deferred, and
+// goroutine-spawned discards, tuple results, and the sanctioned `_ =`.
+package errdemo
+
+import "errors"
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func fail() error { return errors.New("no") }
+
+func pair() (int, error) { return 0, nil }
+
+func clean() (int, int) { return 1, 2 }
+
+func demo(c *closer) {
+	fail()          // want "error result of fail is silently discarded"
+	c.Close()       // want "error result of Close is silently discarded"
+	defer c.Close() // want "error result of deferred Close is silently discarded"
+	go fail()       // want "error result of goroutine-spawned fail is silently discarded"
+	pair()          // want "error result of pair is silently discarded"
+
+	_ = fail() // explicit discard: sanctioned
+	if err := fail(); err != nil {
+		_ = err
+	}
+	_, _ = pair()
+	defer func() { _ = c.Close() }() // sanctioned deferred discard
+	clean()                          // no error result: fine
+	println("x")                     // builtin: fine
+}

@@ -1,0 +1,11 @@
+// Package errquiet drops an error but sits outside the analyzer's scoped
+// package set, so no diagnostics fire.
+package errquiet
+
+import "errors"
+
+func fail() error { return errors.New("no") }
+
+func drop() {
+	fail()
+}

@@ -1,0 +1,35 @@
+package goroleak_test
+
+import (
+	"strings"
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+	"knightking/internal/lint/goroleak"
+	"knightking/internal/lint/lintutil"
+)
+
+func TestGoroleak(t *testing.T) {
+	a := goroleak.NewAnalyzer(map[string]bool{"gorodemo": true})
+	res := analysistest.Run(t, "testdata", a, "gorodemo")
+	ws, _ := res[0].Value.([]lintutil.Waiver)
+	found := false
+	for _, w := range ws {
+		if strings.Contains(w.Reason, "joined by process exit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasoned //kk:goro-ok waiver not recorded; got %v", ws)
+	}
+}
+
+// TestOutOfScope pins the package gate: the analyzer is silent on
+// packages outside its scoped set.
+func TestOutOfScope(t *testing.T) {
+	a := goroleak.NewAnalyzer(map[string]bool{"otherpkg": true})
+	res := analysistest.Run(t, "testdata", a, "leakyquiet")
+	if len(res[0].Diagnostics) != 0 {
+		t.Errorf("out-of-scope package produced diagnostics: %v", res[0].Diagnostics)
+	}
+}

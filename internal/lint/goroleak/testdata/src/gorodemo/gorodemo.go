@@ -1,0 +1,132 @@
+// Package gorodemo exercises the goroleak analyzer: each accepted join
+// shape, the visible-body resolution levels, leaks, and waivers.
+package gorodemo
+
+import (
+	"bytes"
+	"context"
+	"sync"
+)
+
+// wgLiteral joins through a local WaitGroup.
+func wgLiteral(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// pool joins field-held workers: the spawn is a named method call and the
+// Done/Wait pair lives on a struct field.
+type pool struct {
+	wg    sync.WaitGroup
+	tasks chan int
+}
+
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for range p.tasks {
+	}
+}
+
+func (p *pool) stop() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// oneShot joins through a buffered completion channel received by the
+// spawner.
+func oneShot() error {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	return <-done
+}
+
+// quitLoop's goroutine receives from a channel the package closes.
+type quitLoop struct {
+	quit chan struct{}
+}
+
+func (q *quitLoop) run() {
+	go func() {
+		for {
+			select {
+			case <-q.quit:
+				return
+			}
+		}
+	}()
+}
+
+func (q *quitLoop) stop() { close(q.quit) }
+
+// ctxBound ties the goroutine's lifetime to a cancellable context.
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// funcValue resolves a local function variable one level deep.
+func funcValue() {
+	var wg sync.WaitGroup
+	work := func() {
+		wg.Done()
+	}
+	wg.Add(1)
+	go work()
+	wg.Wait()
+}
+
+// closer signals completion by closing a channel the spawner receives on.
+func closer() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// leak has no join signal at all.
+func leak() {
+	x := 0
+	go func() { // want "goroutine has no provable join"
+		x++
+	}()
+	_ = x
+}
+
+// halfJoin sends on a channel nobody receives from: the signal exists but
+// the evidence does not.
+func halfJoin() {
+	orphan := make(chan int, 1)
+	go func() { // want "goroutine has no provable join"
+		orphan <- 1
+	}()
+}
+
+// external spawns a method of another package; the body is invisible, so
+// the join must be waived with a reason or it is a finding.
+func external(b *bytes.Buffer) {
+	go b.Reset() // want "goroutine body is not visible here"
+	go b.Truncate(0) //kk:goro-ok Buffer methods return promptly; joined by process exit in this demo
+}
+
+// unreasoned shows the empty-waiver diagnostic.
+func unreasoned() {
+	//kk:goro-ok
+	go func() {}() // want "waiver needs a reason"
+}

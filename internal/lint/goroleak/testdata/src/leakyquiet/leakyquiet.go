@@ -1,0 +1,7 @@
+// Package leakyquiet leaks a goroutine but sits outside the analyzer's
+// scoped package set, so no diagnostics fire.
+package leakyquiet
+
+func spawn() {
+	go func() {}()
+}

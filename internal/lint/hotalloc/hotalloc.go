@@ -1,0 +1,508 @@
+// Package hotalloc implements the kklint analyzer guarding the engine's
+// zero-alloc hot path. Functions annotated `//kk:hotpath` in their doc
+// comment — and every in-package function they transitively call — form
+// the hot set. Inside the hot set the analyzer forbids the constructs that
+// put heap allocations on the steady-state walker/message path:
+//
+//   - map and slice composite literals, make, and new;
+//   - heap-escaping composite literals (&T{...});
+//   - capturing closures (a func literal that closes over local state
+//     allocates its context on every evaluation);
+//   - interface boxing: converting a concrete non-pointer-shaped value to
+//     an interface type (call arguments, assignments, conversions, and
+//     returns), including every call into package fmt;
+//   - un-presized append growth: appending to a destination that is not a
+//     struct-field scratch buffer, a parameter, or a local derived from a
+//     capacity-carrying make or a reslice.
+//
+// Interprocedural reach: within the package, the hot set is the transitive
+// closure over the call graph (internal/lint/analysis). Across packages,
+// the analyzer exports the hot set as facts keyed by types.Func.FullName;
+// a hot function calling into another module package must target a
+// function that package exported as hot, otherwise the call leaves the
+// audited region and is a finding. Packages without facts (the standard
+// library, drivers without facts support) are exempt — their known-hot
+// entry points are wrapped by annotated functions instead.
+//
+// Dynamic calls (interface methods, function values) cannot be resolved
+// and are deliberately not findings: the hot path's interface calls target
+// implementations that carry their own //kk:hotpath annotations (e.g. the
+// sampling.StaticSampler implementations).
+//
+// Findings are waivable with `//kk:alloc-ok <reason>`; the reason should
+// say why the allocation is off the steady-state path (amortized growth,
+// error path, telemetry gated behind a nil check).
+package hotalloc
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"knightking/internal/lint/analysis"
+	"knightking/internal/lint/lintutil"
+)
+
+// Analyzer is the zero-alloc hot-path check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid heap allocations in //kk:hotpath functions and their transitive callees\n\n" +
+		"The walker/message hot path is allocation-free by contract (AllocsPerRun ceilings in " +
+		"internal/core); this analyzer catches composite literals, capturing closures, interface " +
+		"boxing, un-presized appends, and calls that leave the audited hot set before they ship.",
+	Run:   run,
+	Facts: true,
+}
+
+// facts is the JSON payload exported per package: the FullNames of every
+// function in the package's hot set.
+type facts struct {
+	Hot []string `json:"hot"`
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := analysis.BuildCallGraph(pass)
+
+	// Roots: every declared function annotated //kk:hotpath.
+	var roots []*types.Func
+	for fn, node := range g.Nodes {
+		if lintutil.IsTestFile(pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		if _, ok := node.Directive("hotpath"); ok {
+			roots = append(roots, fn)
+		}
+	}
+	var waivers []lintutil.Waiver
+	if len(roots) == 0 {
+		pass.WriteFacts(nil)
+		return waivers, nil
+	}
+
+	hot := g.Reachable(roots, nil)
+
+	// via[fn] names the annotated root through which fn entered the hot
+	// set, for diagnostics on transitively hot functions.
+	via := make(map[*types.Func]*types.Func)
+	for _, r := range roots {
+		for fn := range g.Reachable([]*types.Func{r}, nil) {
+			if _, ok := via[fn]; !ok {
+				via[fn] = r
+			}
+		}
+	}
+
+	// Deterministic iteration: sort hot functions by position.
+	hotFns := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		hotFns = append(hotFns, fn)
+	}
+	sort.Slice(hotFns, func(i, j int) bool { return hotFns[i].Pos() < hotFns[j].Pos() })
+
+	for _, fn := range hotFns {
+		node := g.NodeOf(fn)
+		if node == nil || lintutil.IsTestFile(pass.Fset, node.Decl.Pos()) {
+			continue
+		}
+		c := &checker{
+			pass:    pass,
+			g:       g,
+			node:    node,
+			fn:      fn,
+			root:    via[fn],
+			hot:     hot,
+			waivers: &waivers,
+		}
+		c.check()
+	}
+
+	// Export the hot set for downstream packages.
+	f := facts{}
+	for _, fn := range hotFns {
+		f.Hot = append(f.Hot, fn.FullName())
+	}
+	sort.Strings(f.Hot)
+	if blob, err := json.Marshal(f); err == nil {
+		pass.WriteFacts(blob)
+	}
+	return waivers, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	g       *analysis.CallGraph
+	node    *analysis.FuncNode
+	fn      *types.Func
+	root    *types.Func
+	hot     map[*types.Func]bool
+	waivers *[]lintutil.Waiver
+
+	// addressed holds composite literals whose address is taken (&T{...}).
+	addressed map[*ast.CompositeLit]bool
+	// presized holds local slice objects with a capacity-carrying origin.
+	presized map[types.Object]bool
+}
+
+// where names the hot function in diagnostics, including how it became hot
+// when the annotation is inherited through the call graph.
+func (c *checker) where() string {
+	if c.root == nil || c.root == c.fn {
+		return fmt.Sprintf("hot-path function %s", c.fn.Name())
+	}
+	return fmt.Sprintf("function %s (hot via //kk:hotpath root %s)", c.fn.Name(), c.root.Name())
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	lintutil.Waive(c.pass, c.pass.Fset, c.node.File, c.waivers,
+		lintutil.AllocWaiverMarker, pos, msg)
+}
+
+func (c *checker) check() {
+	body := c.node.Decl.Body
+	c.addressed = make(map[*ast.CompositeLit]bool)
+	c.presized = make(map[types.Object]bool)
+	c.scanOrigins(body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.addressed[cl] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.FuncLit:
+			c.funcLit(n)
+		case *ast.AssignStmt:
+			c.assignBoxing(n)
+		case *ast.ReturnStmt:
+			c.returnBoxing(n)
+		}
+		return true
+	})
+}
+
+// scanOrigins records which local slice variables have a presized origin:
+// a make with an explicit capacity, a reslice of existing storage
+// (s[:0], buf[:n]), or a call result (pooled buffers).
+func (c *checker) scanOrigins(body *ast.BlockStmt) {
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := lintutil.ObjOf(c.pass.TypesInfo, id)
+		if obj == nil {
+			return
+		}
+		switch rhs := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if bid, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+				if b, isB := c.pass.TypesInfo.Uses[bid].(*types.Builtin); isB {
+					if b.Name() == "make" && len(rhs.Args) == 3 {
+						c.presized[obj] = true // make([]T, n, cap)
+					}
+					if b.Name() == "append" {
+						return // keeps whatever origin it had
+					}
+					return
+				}
+			}
+			c.presized[obj] = true // pooled/constructed storage from a call
+		case *ast.SliceExpr:
+			c.presized[obj] = true // reslice of existing storage
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								record(name, vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) compositeLit(cl *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.report(cl.Pos(), "map literal allocates in %s", c.where())
+	case *types.Slice:
+		c.report(cl.Pos(), "slice literal allocates in %s", c.where())
+	case *types.Struct, *types.Array:
+		if c.addressed[cl] {
+			c.report(cl.Pos(), "heap-escaping composite literal (&%s{...}) in %s",
+				types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)), c.where())
+		}
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+
+	// Conversions: flag concrete non-pointer-shaped → interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type.Underlying()) {
+			c.boxing(call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "make":
+				c.report(call.Pos(), "make allocates in %s", c.where())
+			case "new":
+				c.report(call.Pos(), "new allocates in %s", c.where())
+			case "append":
+				c.appendCall(call)
+			}
+			return
+		}
+	}
+
+	// fmt is wholesale forbidden: it boxes every argument and allocates
+	// while formatting.
+	callee := analysis.CalleeOf(info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		c.report(call.Pos(), "fmt call (%s) boxes its arguments and allocates in %s",
+			callee.Name(), c.where())
+		return
+	}
+
+	// Cross-package module calls must land on functions the callee package
+	// exported as hot. Packages without facts are exempt.
+	if callee != nil && callee.Pkg() != nil && callee.Pkg() != c.pass.Pkg {
+		if blob := c.pass.ReadFacts(callee.Pkg().Path()); blob != nil {
+			var f facts
+			if err := json.Unmarshal(blob, &f); err == nil {
+				found := false
+				for _, name := range f.Hot {
+					if name == callee.FullName() {
+						found = true
+						break
+					}
+				}
+				if !found {
+					c.report(call.Pos(),
+						"call from %s into %s.%s, which is not on that package's //kk:hotpath hot set",
+						c.where(), callee.Pkg().Name(), callee.Name())
+				}
+			}
+		}
+	}
+
+	// Boxing at call arguments, resolved from the call's static signature
+	// (works for interface-method calls too).
+	var sig *types.Signature
+	if tv, ok := info.Types[call.Fun]; ok {
+		sig, _ = tv.Type.Underlying().(*types.Signature)
+	}
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			if call.Ellipsis.IsValid() {
+				pt = last // x... passes the slice itself
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt.Underlying()) {
+			c.boxing(arg, pt, "argument")
+		}
+	}
+}
+
+// appendCall flags append growth into destinations without a presized
+// origin: fresh or nil locals whose backing array append must grow on the
+// hot path. Struct-field scratch buffers, parameters, and locals derived
+// from capacity-carrying makes, reslices, or pooled call results pass.
+func (c *checker) appendCall(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	switch d := dst.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+		// Arena/scratch state (x.buf, bufs[i]) or an explicit reslice:
+		// capacity management is the owner's job.
+		_ = d
+		return
+	case *ast.Ident:
+		obj := lintutil.ObjOf(c.pass.TypesInfo, d)
+		if obj == nil {
+			return
+		}
+		if c.presized[obj] {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if c.isParam(v) {
+				return // caller-managed buffer (encode-into-buf pattern)
+			}
+		}
+		c.report(call.Pos(),
+			"append growth in %s: destination %s has no presized origin (make with capacity, reslice, or scratch field)",
+			c.where(), d.Name)
+	default:
+		// append into a literal or call result: fresh allocation.
+		c.report(call.Pos(), "append into a fresh destination allocates in %s", c.where())
+	}
+}
+
+func (c *checker) isParam(v *types.Var) bool {
+	sig, _ := c.fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	if sig.Recv() == v {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// boxing reports the conversion of a concrete non-pointer-shaped value to
+// an interface type. Pointer-shaped values (pointers, channels, maps,
+// funcs) fit in the interface word and do not allocate; constants are
+// folded; nil and values already of interface type carry no boxing.
+func (c *checker) boxing(arg ast.Expr, to types.Type, what string) {
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return
+	}
+	at := tv.Type
+	if types.IsInterface(at.Underlying()) {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	case *types.Basic:
+		if at.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	c.report(arg.Pos(),
+		"interface boxing at %s in %s: %s value converted to %s allocates",
+		what, c.where(),
+		types.TypeString(at, types.RelativeTo(c.pass.Pkg)),
+		types.TypeString(to, types.RelativeTo(c.pass.Pkg)))
+}
+
+// assignBoxing flags assignments whose LHS has interface static type and
+// RHS is a concrete non-pointer-shaped value.
+func (c *checker) assignBoxing(as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		return // := infers the concrete type, no boxing
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt, ok := c.pass.TypesInfo.Types[as.Lhs[i]]
+		if !ok || lt.Type == nil || !types.IsInterface(lt.Type.Underlying()) {
+			continue
+		}
+		c.boxing(as.Rhs[i], lt.Type, "assignment")
+	}
+}
+
+// returnBoxing flags returns of concrete non-pointer-shaped values from
+// interface-typed results.
+func (c *checker) returnBoxing(rs *ast.ReturnStmt) {
+	sig, _ := c.fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() != len(rs.Results) {
+		return
+	}
+	for i, res := range rs.Results {
+		rt := sig.Results().At(i).Type()
+		if types.IsInterface(rt.Underlying()) {
+			c.boxing(res, rt, "return")
+		}
+	}
+}
+
+// funcLit flags capturing closures: a literal that references variables
+// declared outside itself (but not package-level state) must allocate its
+// context every time the literal is evaluated.
+func (c *checker) funcLit(lit *ast.FuncLit) {
+	info := c.pass.TypesInfo
+	var captured *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() == c.pass.Pkg.Scope() || obj.Parent() == types.Universe {
+			return true // package-level or universe: no capture
+		}
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		captured = id
+		return false
+	})
+	if captured != nil {
+		c.report(lit.Pos(),
+			"capturing closure in %s: the literal closes over %s and allocates its context",
+			c.where(), captured.Name)
+	}
+}

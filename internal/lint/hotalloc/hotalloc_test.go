@@ -1,0 +1,31 @@
+package hotalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"knightking/internal/lint/analysistest"
+	"knightking/internal/lint/hotalloc"
+	"knightking/internal/lint/lintutil"
+)
+
+func TestHotalloc(t *testing.T) {
+	res := analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotdemo")
+	ws, _ := res[0].Value.([]lintutil.Waiver)
+	found := false
+	for _, w := range ws {
+		if strings.Contains(w.Reason, "one-time setup slab") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasoned //kk:alloc-ok waiver not recorded; got %v", ws)
+	}
+}
+
+// TestCrossPackageFacts pins the interprocedural boundary: a hot function
+// calling into another module package must target a function that package
+// exported as hot, resolved through the analyzer's facts.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "hotlib", "hotuse")
+}

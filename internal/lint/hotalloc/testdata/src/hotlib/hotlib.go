@@ -1,0 +1,11 @@
+// Package hotlib is the dependency side of the cross-package facts test:
+// it exports Fast as part of its hot set and leaves Slow outside it.
+package hotlib
+
+// Fast is on the hot path.
+//
+//kk:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Slow is not annotated and not reachable from a hot root here.
+func Slow(x int) int { return x * 2 }

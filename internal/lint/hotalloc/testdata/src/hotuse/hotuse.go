@@ -1,0 +1,15 @@
+// Package hotuse is the dependent side of the cross-package facts test: a
+// hot function may call hotlib.Fast (exported as hot by hotlib's facts)
+// but not hotlib.Slow.
+package hotuse
+
+import "hotlib"
+
+// Step is a hot root calling across the package boundary.
+//
+//kk:hotpath
+func Step(x int) int {
+	y := hotlib.Fast(x)
+	y = hotlib.Slow(y) // want "not on that package's //kk:hotpath hot set"
+	return y
+}

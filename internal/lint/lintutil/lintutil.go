@@ -16,18 +16,44 @@ import (
 // records every accepted waiver so drivers can list them.
 const WaiverMarker = "kk:nondet-ok"
 
-// Waiver is one accepted waiver comment.
+// AllocWaiverMarker waives a hotalloc finding: `//kk:alloc-ok <reason>`.
+// The reason should explain why the allocation is off the steady-state
+// walker/message path (amortized growth, error path, gated telemetry).
+const AllocWaiverMarker = "kk:alloc-ok"
+
+// GoroWaiverMarker waives a goroleak finding: `//kk:goro-ok <reason>`.
+// The reason should name the out-of-band join (e.g. http.Server.Shutdown).
+const GoroWaiverMarker = "kk:goro-ok"
+
+// AllWaiverMarkers is every marker the stale-waiver audit scans for: a
+// marker comment that no longer suppresses any firing diagnostic is dead
+// and must be removed.
+var AllWaiverMarkers = []string{WaiverMarker, AllocWaiverMarker, GoroWaiverMarker}
+
+// Waiver is one accepted waiver comment. Pos is the position of the
+// marker comment itself (not the waived statement), so the stale-waiver
+// audit can match accepted waivers against the marker comments present in
+// the source.
 type Waiver struct {
 	Pos    token.Pos
+	Marker string
 	Reason string
 }
 
 // FindWaiver looks for a marker comment attached to the statement at pos:
 // either trailing on the same source line or alone on the line directly
 // above. It returns the waiver text (may be empty — the caller should then
-// report a missing reason) and whether a marker was found at all.
-func FindWaiver(fset *token.FileSet, file *ast.File, pos token.Pos, marker string) (reason string, found bool) {
+// report a missing reason), the comment's position, and whether a marker
+// was found at all.
+func FindWaiver(fset *token.FileSet, file *ast.File, pos token.Pos, marker string) (reason string, cpos token.Pos, found bool) {
 	line := fset.Position(pos).Line
+	// A same-line marker always wins over one on the line above: when
+	// consecutive lines each carry their own trailing waiver, the one
+	// trailing line N-1 must not absorb line N's finding (which would
+	// leave line N's own waiver looking stale).
+	var aboveReason string
+	var abovePos token.Pos
+	var aboveFound bool
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -36,13 +62,60 @@ func FindWaiver(fset *token.FileSet, file *ast.File, pos token.Pos, marker strin
 				continue
 			}
 			cline := fset.Position(c.Pos()).Line
-			if cline != line && cline != line-1 {
-				continue
+			switch cline {
+			case line:
+				return strings.TrimSpace(strings.TrimPrefix(text, marker)), c.Pos(), true
+			case line - 1:
+				if !aboveFound {
+					aboveReason = strings.TrimSpace(strings.TrimPrefix(text, marker))
+					abovePos = c.Pos()
+					aboveFound = true
+				}
 			}
-			return strings.TrimSpace(strings.TrimPrefix(text, marker)), true
 		}
 	}
-	return "", false
+	return aboveReason, abovePos, aboveFound
+}
+
+// MarkerComments returns the position of every waiver-marker comment in
+// file, for the stale-waiver audit. Directive comments (kk:hotpath,
+// kk:phase) are not markers and are not returned.
+func MarkerComments(file *ast.File) []Waiver {
+	var out []Waiver
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			for _, m := range AllWaiverMarkers {
+				if strings.HasPrefix(text, m) {
+					out = append(out, Waiver{
+						Pos:    c.Pos(),
+						Marker: m,
+						Reason: strings.TrimSpace(strings.TrimPrefix(text, m)),
+					})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Waive is the shared report-or-record helper: it reports the finding at
+// pos unless a reasoned waiver comment with the given marker is attached,
+// in which case the waiver is appended to *waivers instead. A marker with
+// an empty reason is itself a diagnostic.
+func Waive(pass interface {
+	Reportf(pos token.Pos, format string, args ...interface{})
+}, fset *token.FileSet, file *ast.File, waivers *[]Waiver, marker string, pos token.Pos, msg string) {
+	reason, cpos, found := FindWaiver(fset, file, pos, marker)
+	switch {
+	case !found:
+		pass.Reportf(pos, "%s", msg)
+	case reason == "":
+		pass.Reportf(pos, "//%s waiver needs a reason", marker)
+	default:
+		*waivers = append(*waivers, Waiver{Pos: cpos, Marker: marker, Reason: reason})
+	}
 }
 
 // FileOf returns the *ast.File among files containing pos, or nil.

@@ -85,7 +85,7 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 		ln:  ln,
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 	}
-	go s.srv.Serve(ln)
+	go s.srv.Serve(ln) //kk:goro-ok joined out of band: Shutdown/Close stop the http.Server and Serve returns
 	return s, nil
 }
 

@@ -198,6 +198,8 @@ func New(opts Options) *Collector {
 func (c *Collector) Job() string { return c.job }
 
 // put appends one event, overwriting the oldest when full. mu held.
+//
+//kk:hotpath
 func (c *Collector) put(ev Event) {
 	if c.next >= uint64(len(c.buf)) {
 		c.evicted++
@@ -332,12 +334,16 @@ func (c *Collector) CriticalPath() []stats.RankGate {
 // TraceWalker implements core.Tracer: walker id's journey is sampled iff
 // id is divisible by SampleEvery — a pure function of the ID, so the
 // sampled set is identical run-to-run for a given seed.
+//
+//kk:hotpath
 func (c *Collector) TraceWalker(id int64) bool {
 	return id%c.sampleEvery == 0
 }
 
 // OnWalkerEvent implements core.Tracer, recording one sampled walker's
 // step decision as a journey instant.
+//
+//kk:hotpath
 func (c *Collector) OnWalkerEvent(ev core.WalkerTraceEvent) {
 	kind, ok := walkerKind(ev.Kind)
 	if !ok {

@@ -68,6 +68,8 @@ type TrialCell struct {
 }
 
 // Record adds one completed step that consumed the given number of trials.
+//
+//kk:hotpath
 func (c *TrialCell) Record(trials uint32) {
 	c.v.Add(1<<32 | uint64(trials))
 }

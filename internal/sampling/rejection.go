@@ -109,6 +109,8 @@ func (r *Rejection) Reset(static StaticSampler, upper, lower float64, appendices
 }
 
 // Propose throws one dart and returns the candidate.
+//
+//kk:hotpath
 func (rj *Rejection) Propose(r *rng.Rand) Proposal {
 	if x := r.Float64() * rj.totalArea; x >= rj.mainArea {
 		// Appendix region: find which appendix this slab belongs to.
@@ -136,6 +138,8 @@ func (rj *Rejection) Propose(r *rng.Rand) Proposal {
 // component. Callers should skip the Pd evaluation entirely when
 // p.PreAccepted is set; calling AcceptMain anyway is still correct because
 // Y <= L <= Pd by the lower bound's contract.
+//
+//kk:hotpath
 func (rj *Rejection) AcceptMain(p Proposal, pd float64) bool {
 	if p.Appendix >= 0 {
 		panic("sampling: AcceptMain on an appendix proposal")
@@ -149,6 +153,8 @@ func (rj *Rejection) AcceptMain(p Proposal, pd float64) bool {
 // the located edge's actual static and dynamic components. The result is 0
 // when the edge turns out not to overshoot Q at all (the declaration was a
 // loose upper bound), which keeps sampling exact.
+//
+//kk:hotpath
 func (rj *Rejection) AppendixAcceptProb(p Proposal, psWidth, pd float64) float64 {
 	if p.Appendix < 0 {
 		panic("sampling: AppendixAcceptProb on a main-region proposal")
@@ -163,15 +169,17 @@ func (rj *Rejection) AppendixAcceptProb(p Proposal, psWidth, pd float64) float64
 		return 0
 	}
 	if over > a.HeightUB {
-		panic(fmt.Sprintf("sampling: outlier overshoot %v exceeds declared bound %v", over, a.HeightUB))
+		panic(fmt.Sprintf("sampling: outlier overshoot %v exceeds declared bound %v", over, a.HeightUB)) //kk:alloc-ok panic path: a violated appendix bound aborts the run, never steady state
 	}
 	if psWidth > a.WidthUB {
-		panic(fmt.Sprintf("sampling: outlier width %v exceeds declared bound %v", psWidth, a.WidthUB))
+		panic(fmt.Sprintf("sampling: outlier width %v exceeds declared bound %v", psWidth, a.WidthUB)) //kk:alloc-ok panic path: a violated appendix bound aborts the run, never steady state
 	}
 	return psWidth * over / declared
 }
 
 // Appendices returns the declared outliers.
+//
+//kk:hotpath
 func (rj *Rejection) Appendices() []Appendix { return rj.appendices }
 
 // Upper returns the envelope Q.

@@ -8,7 +8,6 @@ package sampling
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"knightking/internal/rng"
@@ -73,6 +72,8 @@ func SharedUniform(n int) *Uniform {
 }
 
 // Sample returns a uniform index in [0, n).
+//
+//kk:hotpath
 func (u *Uniform) Sample(r *rng.Rand) int { return r.Intn(u.n) }
 
 // N returns the item count.
@@ -160,6 +161,8 @@ func NewAlias(weights []float32) (*Alias, error) {
 
 // Sample draws an index in O(1): pick a bucket uniformly, then the bucket's
 // primary item with probability prob[b], else its alias.
+//
+//kk:hotpath
 func (a *Alias) Sample(r *rng.Rand) int {
 	b := r.Intn(len(a.prob))
 	if r.Float64() < a.prob[b] {
@@ -236,22 +239,24 @@ func NewITSFromFloat64(weights []float64) (*ITS, error) {
 // NewITSFromFloat64, with no allocation once capacity is warm. The weights
 // slice is retained until the next Reset, so callers reusing a scratch
 // slice must finish sampling before overwriting it.
+//
+//kk:hotpath
 func (s *ITS) ResetFloat64(weights []float64) error {
 	n := len(weights)
 	if n == 0 {
-		return fmt.Errorf("sampling: ITS over zero items")
+		return fmt.Errorf("sampling: ITS over zero items") //kk:alloc-ok error path: invalid input aborts the step, never steady state
 	}
 	cdf := s.cdf[:0]
 	sum := 0.0
 	for i, x := range weights {
 		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-			return fmt.Errorf("sampling: invalid weight %v at %d", x, i)
+			return fmt.Errorf("sampling: invalid weight %v at %d", x, i) //kk:alloc-ok error path: invalid input aborts the step, never steady state
 		}
 		sum += x
 		cdf = append(cdf, sum)
 	}
 	if !(sum > 0) {
-		return fmt.Errorf("sampling: weights sum to %v", sum)
+		return fmt.Errorf("sampling: weights sum to %v", sum) //kk:alloc-ok error path: invalid input aborts the step, never steady state
 	}
 	s.cdf = cdf
 	s.weights = weights
@@ -260,10 +265,22 @@ func (s *ITS) ResetFloat64(weights []float64) error {
 
 // Sample draws x in [0, total) and returns the smallest i with cdf[i] > x,
 // so item i is selected with probability weights[i]/total and zero-weight
-// items are never selected.
+// items are never selected. The binary search is hand-rolled: sort.Search
+// would allocate a capturing closure on every draw.
+//
+//kk:hotpath
 func (s *ITS) Sample(r *rng.Rand) int {
 	x := r.Float64() * s.cdf[len(s.cdf)-1]
-	return sort.Search(len(s.cdf), func(i int) bool { return s.cdf[i] > x })
+	lo, hi := 0, len(s.cdf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.cdf[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // N returns the item count.

@@ -103,7 +103,7 @@ func (s *Service) Start() error {
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	go s.srv.Serve(ln)
+	go s.srv.Serve(ln) //kk:goro-ok joined out of band: Close drains the http.Server via Shutdown and Serve returns
 	return nil
 }
 

@@ -351,14 +351,16 @@ func (e *tcpEndpoint) readFrame(peer int, round uint64) ([]Message, []byte, erro
 func wrapNetErr(err error, what string, peer int) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
-		return fmt.Errorf("transport: %s, peer %d: %w", what, peer, ErrTimeout)
+		return fmt.Errorf("transport: %s, peer %d: %w", what, peer, ErrTimeout) //kk:alloc-ok error path: a timed-out or failed read aborts the exchange, never steady state
 	}
-	return fmt.Errorf("transport: %s, peer %d: %w", what, peer, err)
+	return fmt.Errorf("transport: %s, peer %d: %w", what, peer, err) //kk:alloc-ok error path: a timed-out or failed read aborts the exchange, never steady state
 }
 
 // encodeFrame writes one round frame (header plus msgs) to w. It is the
 // canonical inverse of decodeFrame; both are standalone so the fuzz
 // harness can round-trip them without a live connection.
+//
+//kk:hotpath
 func encodeFrame(w io.Writer, round uint64, msgs []Message) error {
 	var hdr [12]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], round)
@@ -393,6 +395,8 @@ type frameLimits struct {
 // validated against every on-wire length field before the corresponding
 // allocation, so a corrupt frame yields an error wrapping ErrFrameTooLarge
 // rather than an OOM.
+//
+//kk:hotpath
 func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf []byte) ([]Message, []byte, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -400,11 +404,11 @@ func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf [
 	}
 	gotRound := binary.LittleEndian.Uint64(hdr[0:8])
 	if gotRound != wantRound {
-		return nil, buf, fmt.Errorf("transport: round mismatch from %d: got %d want %d", peer, gotRound, wantRound)
+		return nil, buf, fmt.Errorf("transport: round mismatch from %d: got %d want %d", peer, gotRound, wantRound) //kk:alloc-ok error path: a round mismatch aborts the exchange, never steady state
 	}
 	count := binary.LittleEndian.Uint32(hdr[8:12])
 	if count > lim.maxMessages {
-		return nil, buf, fmt.Errorf("transport: frame from %d claims %d messages (limit %d): %w",
+		return nil, buf, fmt.Errorf("transport: frame from %d claims %d messages (limit %d): %w", //kk:alloc-ok error path: an oversized frame aborts the exchange, never steady state
 			peer, count, lim.maxMessages, ErrFrameTooLarge)
 	}
 	// Spans are resolved into messages only after all payloads are read,
@@ -419,7 +423,7 @@ func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf [
 	if capHint > 4096 {
 		capHint = 4096
 	}
-	spans := make([]span, 0, capHint)
+	spans := make([]span, 0, capHint) //kk:alloc-ok per-frame span scratch: capacity is clamped, one small allocation per exchange round
 	var mh [5]byte
 	total := 0
 	for i := uint32(0); i < count; i++ {
@@ -428,7 +432,7 @@ func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf [
 		}
 		plen := int(binary.LittleEndian.Uint32(mh[1:5]))
 		if plen > lim.maxFrameBytes || total > lim.maxFrameBytes-plen {
-			return nil, buf, fmt.Errorf("transport: frame from %d exceeds %d payload bytes: %w",
+			return nil, buf, fmt.Errorf("transport: frame from %d exceeds %d payload bytes: %w", //kk:alloc-ok error path: an oversized frame aborts the exchange, never steady state
 				peer, lim.maxFrameBytes, ErrFrameTooLarge)
 		}
 		buf = growFrameBuf(buf, total+plen)
@@ -438,7 +442,7 @@ func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf [
 		spans = append(spans, span{kind: mh[0], off: total, n: plen})
 		total += plen
 	}
-	msgs := make([]Message, len(spans))
+	msgs := make([]Message, len(spans)) //kk:alloc-ok per-frame message headers: one allocation per exchange round, not per message
 	for i, s := range spans {
 		// Full slice expressions cap each payload so an append by the
 		// consumer cannot clobber its neighbor.
@@ -450,19 +454,25 @@ func decodeFrame(r io.Reader, peer int, wantRound uint64, lim frameLimits, buf [
 // framePool recycles whole-frame payload buffers across exchange rounds.
 var framePool = sync.Pool{New: func() interface{} { return []byte(nil) }}
 
+//
+//kk:hotpath
 func getFrameBuf() []byte {
 	return framePool.Get().([]byte)[:0]
 }
 
+//
+//kk:hotpath
 func putFrameBuf(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
-	framePool.Put(b[:0])
+	framePool.Put(b[:0]) //kk:alloc-ok slice boxing is inherent to sync.Pool; one per recycled frame buffer per round
 }
 
 // growFrameBuf extends b to length n, reallocating geometrically when
 // capacity runs out.
+//
+//kk:hotpath
 func growFrameBuf(b []byte, n int) []byte {
 	if n <= cap(b) {
 		return b[:n]
@@ -474,7 +484,7 @@ func growFrameBuf(b []byte, n int) []byte {
 	if newCap < 4096 {
 		newCap = 4096
 	}
-	nb := make([]byte, n, newCap)
+	nb := make([]byte, n, newCap) //kk:alloc-ok amortized: the frame buffer grows geometrically, then is reused across rounds
 	copy(nb, b)
 	return nb
 }
