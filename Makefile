@@ -61,11 +61,13 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzRead -fuzztime=15s ./internal/trace/
 	go test -run=Fuzz -fuzz=FuzzApplyDeltas -fuzztime=15s ./internal/dyngraph/
 
-# End-to-end smoke tests of the two operator surfaces: the kkwalk admin
-# server and the kkserve walk service.
+# End-to-end smoke tests of the three operator surfaces: the kkwalk admin
+# server, the kkserve walk service, and the kkcoord/kkrank cluster
+# (kill-a-rank failover + determinism diff).
 smoke:
 	./scripts/admin-smoke.sh
 	./scripts/serve-smoke.sh
+	./scripts/cluster-smoke.sh
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

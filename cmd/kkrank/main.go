@@ -1,0 +1,45 @@
+// Command kkrank is one cluster worker process. It registers with a
+// kkcoord coordinator, receives its rank, partition slice, and peer list
+// over the control plane, loads its share of the graph, joins the
+// data-plane mesh, and runs the walk engine — resuming from the newest
+// complete checkpoint after a failover. It needs almost no flags: the
+// coordinator owns the job spec.
+//
+//	kkrank -coord 127.0.0.1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"knightking/internal/coord"
+)
+
+func main() {
+	var (
+		coordAddr = flag.String("coord", "", "coordinator control address (required)")
+		listen    = flag.String("listen", "127.0.0.1:0", "data-plane listen address")
+		hbEvery   = flag.Duration("heartbeat-every", coord.DefaultHeartbeatEvery, "heartbeat period")
+		grace     = flag.Duration("abort-grace", coord.DefaultAbortGrace, "wait for aligned cancellation after an abort before force-closing the mesh")
+	)
+	flag.Parse()
+	if *coordAddr == "" {
+		_, _ = fmt.Fprintln(os.Stderr, "kkrank: -coord is required (start kkcoord first and pass its control address)")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, fmt.Sprintf("kkrank[%d]: ", os.Getpid()), log.Lmicroseconds)
+	err := coord.RunWorker(coord.WorkerOptions{
+		CoordAddr:      *coordAddr,
+		ListenAddr:     *listen,
+		HeartbeatEvery: *hbEvery,
+		AbortGrace:     *grace,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Printf("exiting: %v", err)
+		os.Exit(1)
+	}
+}

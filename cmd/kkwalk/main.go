@@ -76,8 +76,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "run seed")
 		dump       = flag.String("dump", "", "dump walk sequences to this file (- = stdout)")
 		visits     = flag.String("visits", "", "dump per-vertex visit counts to this file (- = stdout)")
-		rank       = flag.Int("rank", -1, "multi-process mode: this process's rank")
-		peers      = flag.String("peers", "", "multi-process mode: comma-separated listen addresses of all ranks, in rank order")
+		rank       = flag.Int("rank", -1, "static multi-process mode: this process's rank (requires -peers; prefer kkcoord/kkrank)")
+		peers      = flag.String("peers", "", "static multi-process mode: comma-separated listen addresses of all ranks, in rank order (requires -rank; prefer kkcoord/kkrank)")
 		noLight    = flag.Bool("nolight", false, "disable straggler-aware light mode")
 		netTimeout = flag.Duration("net-timeout", 0, "fail any exchange barrier not completing within this duration (0 = wait forever); also sets TCP read/write deadlines in multi-process mode")
 		ckptDir    = flag.String("checkpoint-dir", "", "snapshot walk state into this directory")
@@ -118,11 +118,23 @@ func main() {
 		reg = obs.NewRegistry(nil)
 	}
 
+	// Static multi-process mode needs both halves of the pair: a rank with
+	// no peer list (or vice versa) is a misconfigured launch script, so fail
+	// before touching the graph. The kkcoord/kkrank control plane supersedes
+	// these flags — it hands each worker its rank, peers, and partition, and
+	// survives rank failures; static -rank/-peers remains for fixed
+	// single-shot deployments.
+	if *rank >= 0 && *peers == "" {
+		fatalf("-rank requires -peers (or use kkcoord/kkrank, which assigns ranks automatically)")
+	}
+	if *peers != "" && *rank < 0 {
+		fatalf("-peers requires -rank (or use kkcoord/kkrank, which assigns ranks automatically)")
+	}
 	multiProcess := *peers != ""
 	var peerAddrs []string
 	if multiProcess {
 		peerAddrs = strings.Split(*peers, ",")
-		if *rank < 0 || *rank >= len(peerAddrs) {
+		if *rank >= len(peerAddrs) {
 			fatalf("-rank %d out of range for %d peers", *rank, len(peerAddrs))
 		}
 	}

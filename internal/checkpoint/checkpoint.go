@@ -18,6 +18,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc64"
 	"os"
@@ -298,6 +299,13 @@ func (c *Checkpoint) RestoreState() *core.RestoreState {
 	return &core.RestoreState{Iteration: c.Iteration, Segments: c.Segments}
 }
 
+// ErrNone is wrapped by Load and LoadRank when the directory holds no
+// committed checkpoints at all — a fresh start, as opposed to checkpoints
+// that exist but fail validation. Callers that treat "nothing to resume"
+// as a normal case (a kkrank worker told to resume before the first
+// checkpoint of a job has committed) match it with errors.Is.
+var ErrNone = errors.New("checkpoint: none found")
+
 // Load returns the newest complete, uncorrupted checkpoint under dir.
 // Checkpoints whose manifest or any segment fails validation (bad magic or
 // checksum, wrong size, missing file) are skipped in favor of the previous
@@ -317,7 +325,7 @@ func Load(dir string) (*Checkpoint, error) {
 		}
 	}
 	if len(iters) == 0 {
-		return nil, fmt.Errorf("checkpoint: no checkpoints under %s", dir)
+		return nil, fmt.Errorf("%w under %s", ErrNone, dir)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
 	var rejections []string
@@ -330,6 +338,84 @@ func Load(dir string) (*Checkpoint, error) {
 	}
 	return nil, fmt.Errorf("checkpoint: no complete checkpoint under %s:\n  %s",
 		dir, strings.Join(rejections, "\n  "))
+}
+
+// LoadRank is Load restricted to one rank's segment: the newest committed
+// checkpoint is located, its manifest verified, and only segment `rank` is
+// read and CRC-checked. The returned Checkpoint's Segments slice has the
+// manifest's full rank count with only entry `rank` populated — exactly
+// the shape core.RunNode's RestoreState contract asks of a multi-process
+// rank, without paying |cluster| × segment I/O on every worker.
+//
+// This is the re-handout convention for coordinated failover: the
+// coordinator names a shared checkpoint directory in the job spec, each
+// (re)assigned worker calls LoadRank(dir, itsRank), and ready agreement on
+// the loaded iteration is checked centrally before the restart barrier.
+// A committed manifest implies every segment was durable (Commit runs
+// strictly after all ranks' fsync+rename), so skipping the other ranks'
+// files sacrifices no safety beyond what their own LoadRank verifies.
+func LoadRank(dir string, rank int) (*Checkpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var iters []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if it, ok := parseIterDir(e.Name(), ckptPrefix); ok {
+			iters = append(iters, it)
+		}
+	}
+	if len(iters) == 0 {
+		return nil, fmt.Errorf("%w under %s", ErrNone, dir)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
+	var rejections []string
+	for _, it := range iters {
+		c, err := loadOneRank(ckptDir(dir, it), it, rank)
+		if err == nil {
+			return c, nil
+		}
+		rejections = append(rejections, err.Error())
+	}
+	return nil, fmt.Errorf("checkpoint: no complete checkpoint for rank %d under %s:\n  %s",
+		rank, dir, strings.Join(rejections, "\n  "))
+}
+
+// loadOneRank reads one checkpoint directory's manifest plus a single
+// rank's segment.
+func loadOneRank(path string, iteration, rank int) (*Checkpoint, error) {
+	raw, err := os.ReadFile(filepath.Join(path, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m, err := ReadManifest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if m.Iteration != iteration {
+		return nil, fmt.Errorf("%s: manifest is for superstep %d", path, m.Iteration)
+	}
+	if rank < 0 || rank >= len(m.Segments) {
+		return nil, fmt.Errorf("%s: rank %d outside the manifest's %d ranks", path, rank, len(m.Segments))
+	}
+	blob, err := os.ReadFile(filepath.Join(path, fmt.Sprintf(segPattern, rank)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	seg := m.Segments[rank]
+	if int64(len(blob)) != seg.Size {
+		return nil, fmt.Errorf("%s: segment %d is %d bytes, manifest says %d (torn write?)",
+			path, rank, len(blob), seg.Size)
+	}
+	if crc64.Checksum(blob, crcTable) != seg.CRC {
+		return nil, fmt.Errorf("%s: segment %d checksum mismatch", path, rank)
+	}
+	c := &Checkpoint{Iteration: m.Iteration, Meta: m.Meta, Segments: make([][]byte, len(m.Segments))}
+	c.Segments[rank] = blob
+	return c, nil
 }
 
 // loadOne reads and verifies one checkpoint directory.

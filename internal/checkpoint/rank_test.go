@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"knightking/internal/core"
+)
+
+// TestLoadRank: a committed checkpoint loads per rank with only that
+// rank's segment populated, matching the full Load's view.
+func TestLoadRank(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{Seed: 3, NumWalkers: 10, NumVertices: 20, Algorithm: "deepwalk"}
+	s, err := NewStore(dir, 2, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := [][]byte{[]byte("rank zero state"), []byte("rank one"), []byte("rank two bytes")}
+	var segs []core.SegmentInfo
+	for rank, b := range blobs {
+		info, err := s.WriteSegment(4, rank, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, info)
+	}
+	if err := s.Commit(4, segs); err != nil {
+		t.Fatal(err)
+	}
+
+	for rank, want := range blobs {
+		c, err := LoadRank(dir, rank)
+		if err != nil {
+			t.Fatalf("LoadRank(%d): %v", rank, err)
+		}
+		if c.Iteration != 4 || c.Meta != meta {
+			t.Fatalf("LoadRank(%d) header = %d/%+v", rank, c.Iteration, c.Meta)
+		}
+		if len(c.Segments) != len(blobs) {
+			t.Fatalf("LoadRank(%d) has %d segment slots, want %d", rank, len(c.Segments), len(blobs))
+		}
+		for r, seg := range c.Segments {
+			switch {
+			case r == rank && string(seg) != string(want):
+				t.Errorf("LoadRank(%d) segment = %q, want %q", rank, seg, want)
+			case r != rank && seg != nil:
+				t.Errorf("LoadRank(%d) populated foreign segment %d", rank, r)
+			}
+		}
+		if err := c.Validate(meta); err != nil {
+			t.Errorf("LoadRank(%d).Validate: %v", rank, err)
+		}
+	}
+
+	if _, err := LoadRank(dir, 7); err == nil {
+		t.Error("LoadRank with out-of-range rank succeeded")
+	}
+}
+
+// TestLoadRankNone: an empty directory reports ErrNone, distinguishable
+// from corruption.
+func TestLoadRankNone(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadRank(dir, 0); !errors.Is(err, ErrNone) {
+		t.Fatalf("LoadRank on empty dir = %v, want ErrNone", err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrNone) {
+		t.Fatalf("Load on empty dir = %v, want ErrNone", err)
+	}
+}
+
+// TestLoadRankFallsBack: a corrupted newest segment for this rank falls
+// back to the previous complete checkpoint, like Load does.
+func TestLoadRankFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 2, Meta{Algorithm: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []int{2, 4} {
+		var segs []core.SegmentInfo
+		for rank := 0; rank < 2; rank++ {
+			info, err := s.WriteSegment(it, rank, []byte{byte(it), byte(rank)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs = append(segs, info)
+		}
+		if err := s.Commit(it, segs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt rank 1's newest segment.
+	seg := filepath.Join(dir, "ckpt-000000004", "rank-00001.seg")
+	if err := os.WriteFile(seg, []byte{0xff, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadRank(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Iteration != 2 {
+		t.Fatalf("LoadRank fell back to iteration %d, want 2", c.Iteration)
+	}
+	// Rank 0's newest is intact and still loads.
+	c0, err := LoadRank(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Iteration != 4 {
+		t.Fatalf("LoadRank(0) = iteration %d, want 4", c0.Iteration)
+	}
+}

@@ -1,0 +1,138 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"knightking/internal/obs"
+)
+
+// adminServer exposes the coordinator's cluster view:
+//
+//	/metrics  Prometheus text: kk_rank_up, kk_rank_heartbeat_age_seconds,
+//	          kk_rank_superstep, kk_failover_total, kk_coord_attempt, ...
+//	/statusz  JSON snapshot of seats, phases, and progress
+//	/trace    the control-plane causal trace as Perfetto JSON
+type adminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func newAdminServer(c *Coordinator, addr string) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coord: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", c.serveMetrics)
+	mux.HandleFunc("/statusz", c.serveStatusz)
+	mux.HandleFunc("/trace", c.serveTrace)
+	a := &adminServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { //kk:goro-ok joined out of band: Serve unblocks when close() shuts the server down
+		_ = a.srv.Serve(ln) // always ErrServerClosed or the accept error; admin is best-effort
+	}()
+	return a, nil
+}
+
+func (a *adminServer) addr() string { return a.ln.Addr().String() }
+func (a *adminServer) close()       { _ = a.srv.Close() }
+
+// rankStatus is one seat's row in /statusz.
+type rankStatus struct {
+	Rank           int    `json:"rank"`
+	Up             bool   `json:"up"`
+	Worker         int    `json:"worker,omitempty"`
+	DataAddr       string `json:"data_addr,omitempty"`
+	Phase          string `json:"phase"`
+	Superstep      int    `json:"superstep"`
+	Walkers        int64  `json:"walkers"`
+	HeartbeatAgeMS int64  `json:"heartbeat_age_ms"`
+}
+
+// statusz is the full /statusz document.
+type statusz struct {
+	State     string       `json:"state"`
+	Attempt   int          `json:"attempt"`
+	Failovers int64        `json:"failovers"`
+	Ranks     []rankStatus `json:"ranks"`
+	Spares    int          `json:"spares"`
+}
+
+// snapshot renders the coordinator's state under the mutex.
+func (c *Coordinator) snapshot() statusz {
+	now := c.trace.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := statusz{
+		State:     stateNames[c.state],
+		Attempt:   c.attempt,
+		Failovers: c.failovers,
+		Spares:    len(c.spares),
+		Ranks:     make([]rankStatus, len(c.seats)),
+	}
+	for i := range c.seats {
+		s := &c.seats[i]
+		r := rankStatus{Rank: i, Phase: phaseNames[s.phase], Superstep: s.superstep, Walkers: s.walkers}
+		if s.wc != nil {
+			r.Up = true
+			r.Worker = s.wc.id
+			r.DataAddr = s.wc.dataAddr
+			r.HeartbeatAgeMS = (now - s.lastBeat).Milliseconds()
+		}
+		st.Ranks[i] = r
+	}
+	return st
+}
+
+func (c *Coordinator) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := c.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	up := make([]obs.LabeledValue, len(st.Ranks))
+	age := make([]obs.LabeledValue, 0, len(st.Ranks))
+	step := make([]obs.LabeledValue, len(st.Ranks))
+	for i, r := range st.Ranks {
+		label := fmt.Sprintf("%d", r.Rank)
+		v := int64(0)
+		if r.Up {
+			v = 1
+			age = append(age, obs.LabeledValue{Label: label, Value: r.HeartbeatAgeMS / 1000})
+		}
+		up[i] = obs.LabeledValue{Label: label, Value: v}
+		step[i] = obs.LabeledValue{Label: label, Value: int64(r.Superstep)}
+	}
+	_ = obs.WriteLabeledGauge(w, "kk_rank_up", "Whether a worker currently holds this rank.", "rank", up)
+	_ = obs.WriteLabeledGauge(w, "kk_rank_heartbeat_age_seconds", "Seconds since this rank's last heartbeat.", "rank", age)
+	_ = obs.WriteLabeledGauge(w, "kk_rank_superstep", "Last superstep barrier this rank reported.", "rank", step)
+	_ = obs.WriteCounter(w, "kk_failover_total", "Failovers (attempt aborts due to a lost rank) so far.", st.Failovers)
+	_ = obs.WriteGauge(w, "kk_coord_attempt", "Current mesh attempt number.", int64(st.Attempt))
+	_ = obs.WriteGauge(w, "kk_coord_spares", "Registered workers not holding a rank.", int64(st.Spares))
+	_ = obs.WriteGauge(w, "kk_coord_running", "Whether an attempt is currently running.", boolGauge(st.State == "running"))
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (c *Coordinator) serveStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.snapshot())
+}
+
+func (c *Coordinator) serveTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = c.trace.writePerfetto(w, len(c.seats))
+}
+
+// WriteTrace exports the control-plane trace (Perfetto JSON) — kkcoord's
+// -trace flag writes it to a file at exit; /trace serves it live.
+func (c *Coordinator) WriteTrace(w io.Writer) error {
+	return c.trace.writePerfetto(w, len(c.seats))
+}

@@ -1,0 +1,191 @@
+// Package coord is the cluster control plane: a coordinator process that
+// owns one walk job's spec, seats kkrank worker processes into ranks,
+// hands out the 1-D partition and the data-plane peer list, releases the
+// start barrier, watches liveness via heartbeats, and — when a rank dies
+// mid-run — aborts the epoch with aligned cancellation and restarts every
+// rank from the newest complete checkpoint. The data plane (walker
+// migration) never touches this package: ranks exchange frames directly
+// over internal/transport's TCP mesh; only membership, control, and
+// progress flow through the coordinator.
+//
+// The control protocol is newline-delimited JSON over one TCP connection
+// per worker, versioned by a single integer. See DESIGN.md §14 for the
+// message walkthrough, the rank lifecycle state machine, and the failover
+// sequence; CONTRIBUTING.md records the version-negotiation rule.
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ProtoVersion is the control-protocol version. A coordinator accepts
+// exactly its own version in hello and answers any other with a reject
+// carrying its version, so a mismatched worker can print both sides.
+// Additive optional fields do not bump it (unknown JSON fields are
+// ignored); any change to existing semantics does.
+const ProtoVersion = 1
+
+// maxControlLine caps one control message's encoded size. Assignments
+// carry the partition boundary array (8 bytes/rank as JSON numbers), so
+// even thousand-rank clusters fit comfortably in 1 MiB; anything larger
+// is a corrupt or hostile peer.
+const maxControlLine = 1 << 20
+
+// MsgType tags a control message.
+type MsgType string
+
+// The control message vocabulary. Worker → coordinator: hello, ready,
+// heartbeat, done, failed. Coordinator → worker: assign, start, abort,
+// stop, reject.
+const (
+	MsgHello     MsgType = "hello"     // registration: version + data-plane addr
+	MsgAssign    MsgType = "assign"    // seat a rank: partition, peers, resume
+	MsgReady     MsgType = "ready"     // worker loaded graph + checkpoint
+	MsgStart     MsgType = "start"     // barrier release for one attempt
+	MsgHeartbeat MsgType = "heartbeat" // liveness + superstep progress
+	MsgDone      MsgType = "done"      // rank finished its attempt
+	MsgFailed    MsgType = "failed"    // rank's attempt errored (or abort ack)
+	MsgAbort     MsgType = "abort"     // cancel the attempt at the next barrier
+	MsgStop      MsgType = "stop"      // job over; worker exits
+	MsgReject    MsgType = "reject"    // registration refused (version mismatch)
+)
+
+// Msg is the single wire envelope; fields beyond Type are populated per
+// message type as documented on the constants.
+type Msg struct {
+	Type MsgType `json:"type"`
+	// V is the sender's protocol version (hello, reject).
+	V int `json:"v,omitempty"`
+	// DataAddr is the worker's bound data-plane listen address (hello).
+	DataAddr string `json:"data_addr,omitempty"`
+	// Attempt scopes ready/start/heartbeat/done/failed/abort to one mesh
+	// epoch, so messages from an aborted epoch cannot confuse the next.
+	Attempt int `json:"attempt,omitempty"`
+	// Superstep is the rank's last completed superstep (heartbeat).
+	Superstep int `json:"superstep,omitempty"`
+	// Walkers is the cluster-wide live walker count agreed at that
+	// superstep's barrier (heartbeat).
+	Walkers int64 `json:"walkers,omitempty"`
+	// ResumeIter is the checkpoint superstep the worker will resume from;
+	// 0 means a fresh start (ready).
+	ResumeIter int `json:"resume_iter,omitempty"`
+	// Err carries the failure description (failed, reject).
+	Err string `json:"err,omitempty"`
+	// Assign carries the rank assignment (assign).
+	Assign *Assignment `json:"assign,omitempty"`
+	// Result carries the rank's final counters (done).
+	Result *RankResult `json:"result,omitempty"`
+}
+
+// Assignment is everything a worker needs to become rank Rank of one mesh
+// attempt.
+type Assignment struct {
+	Rank  int `json:"rank"`
+	Ranks int `json:"ranks"`
+	// Attempt numbers the mesh epoch, starting at 1; a failover bumps it.
+	Attempt int `json:"attempt"`
+	// Nonce is the attempt's data-plane handshake nonce (nonzero): stale
+	// connections from an aborted epoch are discarded by the mesh accept
+	// loop (transport.TCPOptions.Nonce).
+	Nonce uint64 `json:"nonce"`
+	// Peers lists every rank's data-plane address, in rank order.
+	Peers []string `json:"peers"`
+	// PartitionStarts is the agreed 1-D partition: starts[i] is rank i's
+	// first vertex, starts[Ranks] = |V|.
+	PartitionStarts []uint32 `json:"partition_starts"`
+	// Resume asks the worker to load the newest complete checkpoint for
+	// its rank from Spec.CheckpointDir (fresh start if none exists yet).
+	Resume bool `json:"resume,omitempty"`
+	// Spec is the job being run; identical across ranks and attempts.
+	Spec JobSpec `json:"spec"`
+}
+
+// RankResult is one rank's share of the finished run.
+type RankResult struct {
+	Iterations   int   `json:"iterations"`
+	Steps        int64 `json:"steps"`
+	Terminations int64 `json:"terminations"`
+	Messages     int64 `json:"messages"`
+	Bytes        int64 `json:"bytes"`
+}
+
+// controlConn frames Msg values over one TCP connection: one JSON object
+// per line, writes serialized by a mutex so the worker's heartbeat
+// goroutine and its main loop can share the connection.
+type controlConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func newControlConn(conn net.Conn) *controlConn {
+	return &controlConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// write encodes and flushes one message.
+func (c *controlConn) write(m Msg) error {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("coord: encode %s: %w", m.Type, err)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(buf); err != nil {
+		return fmt.Errorf("coord: write %s: %w", m.Type, err)
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("coord: write %s: %w", m.Type, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("coord: write %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// read blocks for the next message. Lines beyond maxControlLine fail the
+// connection rather than growing without bound.
+func (c *controlConn) read() (Msg, error) {
+	var m Msg
+	line, err := readBoundedLine(c.r, maxControlLine)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(line, &m); err != nil {
+		return m, fmt.Errorf("coord: decode control message: %w", err)
+	}
+	if m.Type == "" {
+		return m, fmt.Errorf("coord: control message with no type")
+	}
+	return m, nil
+}
+
+func (c *controlConn) close() error { return c.conn.Close() }
+
+// readBoundedLine reads up to and including '\n', failing once the line
+// exceeds limit bytes.
+func readBoundedLine(r *bufio.Reader, limit int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > limit {
+			return nil, fmt.Errorf("coord: control line exceeds %d bytes", limit)
+		}
+		if err == nil {
+			return line[:len(line)-1], nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}

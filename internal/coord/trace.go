@@ -1,0 +1,110 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ctlTrace records the coordinator's causal view of the job — worker
+// registrations, attempt prepare/run spans, rank-down detections, and
+// failover detect→resume spans — exportable as Perfetto JSON like the
+// engine's walker trace (obs/tracelog), but scoped to the control plane:
+// one process track, one thread per rank plus a job-level thread. Wall
+// timestamps here are telemetry only; nothing in the walk reads them.
+type ctlTrace struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []ctlEvent
+}
+
+type ctlEvent struct {
+	name string
+	rank int // -1 = job-level track
+	ts   time.Duration
+	dur  time.Duration // 0 = instant event
+}
+
+func newCtlTrace() *ctlTrace {
+	return &ctlTrace{t0: time.Now()} //kk:nondet-ok control-plane telemetry epoch; never feeds walk state
+}
+
+// clock returns the trace-relative timestamp of now.
+func (t *ctlTrace) clock() time.Duration {
+	return time.Since(t.t0) //kk:nondet-ok control-plane telemetry timing; never feeds walk state
+}
+
+// point records an instant event.
+func (t *ctlTrace) point(rank int, format string, args ...interface{}) {
+	t.mu.Lock()
+	t.events = append(t.events, ctlEvent{name: fmt.Sprintf(format, args...), rank: rank, ts: t.clock()})
+	t.mu.Unlock()
+}
+
+// span records a completed interval that began at trace-relative time
+// start (from a prior clock() call).
+func (t *ctlTrace) span(rank int, start time.Duration, format string, args ...interface{}) {
+	end := t.clock()
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ctlEvent{name: fmt.Sprintf(format, args...), rank: rank, ts: start, dur: end - start})
+	t.mu.Unlock()
+}
+
+// perfettoEvent is one Chrome-trace-format entry.
+type perfettoEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// writePerfetto exports the trace as Perfetto-compatible JSON
+// (https://ui.perfetto.dev). tid 1 is the job-level track; rank r lands
+// on tid r+2.
+func (t *ctlTrace) writePerfetto(w io.Writer, ranks int) error {
+	t.mu.Lock()
+	events := append([]ctlEvent(nil), t.events...)
+	t.mu.Unlock()
+
+	out := make([]perfettoEvent, 0, len(events)+ranks+2)
+	out = append(out, perfettoEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 1,
+		Args: map[string]interface{}{"name": "kkcoord control plane"},
+	})
+	out = append(out, perfettoEvent{
+		Name: "thread_name", Ph: "M", PID: 1, TID: 1,
+		Args: map[string]interface{}{"name": "job"},
+	})
+	for r := 0; r < ranks; r++ {
+		out = append(out, perfettoEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: r + 2,
+			Args: map[string]interface{}{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, e := range events {
+		tid := 1
+		if e.rank >= 0 {
+			tid = e.rank + 2
+		}
+		pe := perfettoEvent{Name: e.name, PID: 1, TID: tid, TS: float64(e.ts.Nanoseconds()) / 1e3}
+		if e.dur > 0 {
+			pe.Ph = "X"
+			pe.Dur = float64(e.dur.Nanoseconds()) / 1e3
+		} else {
+			pe.Ph = "i"
+			pe.S = "t"
+		}
+		out = append(out, pe)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": out})
+}

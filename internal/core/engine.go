@@ -172,6 +172,15 @@ type Config struct {
 	// checkpoint write begins. kkwalk wires SIGINT/SIGTERM to this;
 	// internal/service closes it on DELETE /jobs/{id}.
 	Cancel <-chan struct{}
+	// OnProgress, when non-nil, is called once per superstep at the count
+	// barrier with the superstep index and the cluster-wide live walker
+	// count just agreed there (the final superstep reports 0). Under Run
+	// every in-process rank invokes it, so it must be safe for concurrent
+	// use; under RunNode it is this rank's progress beacon — kkrank
+	// piggybacks it onto coordinator heartbeats. The hook runs on the
+	// superstep path and must not block; like Observer it never touches
+	// walker RNG streams, so enabling it cannot change walk output.
+	OnProgress func(iteration int, globalWalkers int64)
 	// Checkpoint, when non-nil, makes every rank snapshot its walker state
 	// into the sink at each superstep barrier whose index is a multiple of
 	// the sink's Interval. The snapshot is taken at a consistent cut (all
@@ -991,6 +1000,9 @@ func (n *node) run() (iterations, lightIters int, err error) {
 				Duration:      time.Since(start), //kk:nondet-ok telemetry-only timing; never feeds walk state
 				LightMode:     light,
 			})
+		}
+		if n.cfg.OnProgress != nil {
+			n.cfg.OnProgress(iterations, global)
 		}
 		if global == 0 {
 			emitSpan()

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"knightking/internal/gen"
+)
+
+// TestOnProgressReportsBarriers: the hook fires once per superstep per
+// rank with monotonically increasing iterations, the final call reports
+// zero live walkers, and enabling it does not change walk output.
+func TestOnProgressReportsBarriers(t *testing.T) {
+	g := gen.UniformDegree(40, 5, 3)
+	base := Config{
+		Graph:       g,
+		Algorithm:   staticAlg(6),
+		NumNodes:    2,
+		Seed:        11,
+		NumWalkers:  40,
+		RecordPaths: true,
+	}
+	golden, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var iters []int
+	var globals []int64
+	cfg := base
+	cfg.OnProgress = func(iteration int, global int64) {
+		mu.Lock()
+		iters = append(iters, iteration)
+		globals = append(globals, global)
+		mu.Unlock()
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(iters) != res.Iterations*base.NumNodes {
+		t.Fatalf("hook fired %d times, want %d (iterations %d × %d ranks)",
+			len(iters), res.Iterations*base.NumNodes, res.Iterations, base.NumNodes)
+	}
+	perRank := make(map[int]int) // iteration -> calls
+	finals := 0
+	for i, it := range iters {
+		perRank[it]++
+		if it == res.Iterations && globals[i] != 0 {
+			t.Errorf("final superstep %d reported %d live walkers, want 0", it, globals[i])
+		}
+		if it == res.Iterations {
+			finals++
+		}
+	}
+	for it := 1; it <= res.Iterations; it++ {
+		if perRank[it] != base.NumNodes {
+			t.Errorf("superstep %d observed by %d ranks, want %d", it, perRank[it], base.NumNodes)
+		}
+	}
+	if finals != base.NumNodes {
+		t.Errorf("final superstep observed %d times, want %d", finals, base.NumNodes)
+	}
+
+	for id := range golden.Paths {
+		if len(golden.Paths[id]) != len(res.Paths[id]) {
+			t.Fatalf("walker %d path length changed with OnProgress enabled", id)
+		}
+		for j := range golden.Paths[id] {
+			if golden.Paths[id][j] != res.Paths[id][j] {
+				t.Fatalf("walker %d diverged at step %d with OnProgress enabled", id, j)
+			}
+		}
+	}
+}

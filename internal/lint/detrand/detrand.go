@@ -60,6 +60,14 @@ var DefaultPackages = map[string]bool{
 	// so it is held to the same standard as core: its timestamps are
 	// telemetry-only and each wall-clock read carries a reviewed waiver.
 	"knightking/internal/obs/tracelog": true,
+	// coord hands out seeds, nonces, and partitions — anything nondeterministic
+	// here (an unordered map range over seats, an unwaivered clock read) would
+	// desynchronize ranks or break resumed-run bit-identity. Control-plane
+	// liveness timing carries reviewed waivers. cmd/kkrank is in the set too
+	// (unlike other CLIs) because it hosts the engine config between
+	// coordinator messages.
+	"knightking/internal/coord": true,
+	"knightking/cmd/kkrank":     true,
 }
 
 // forbiddenImports are the ambient randomness sources. No waiver: a

@@ -51,6 +51,11 @@ var DefaultPackages = map[string]bool{
 	"knightking/internal/service":         true,
 	"knightking/internal/obs":             true,
 	"knightking/internal/obs/tracelog":    true,
+	// coord's coordinator and worker both live for a whole job and spawn
+	// accept loops, read pumps, heartbeats, and engine attempts; every one
+	// must be joined (or carry a reviewed waiver) or a failover leaks it.
+	"knightking/internal/coord": true,
+	"knightking/cmd/kkrank":     true,
 }
 
 // Analyzer checks the repo's goroutine-owning packages (DefaultPackages).

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"hash/fnv"
+	"net"
+	"time"
+
+	"knightking/internal/rng"
+)
+
+// Mesh bring-up dial retry schedule: jittered exponential backoff. A
+// respawned rank rejoining a re-forming mesh dials every higher peer at
+// once; without jitter all dialers of a slow-to-listen peer retry in
+// lockstep and hammer its accept queue the instant it binds. The schedule
+// doubles from backoffBase to backoffCap, and each delay is drawn
+// uniformly from [d/2, 3d/2) using a deterministic per-dialer stream —
+// deterministic so the schedule itself is unit-testable, per-dialer so
+// concurrent dialers decorrelate.
+const (
+	backoffBase = 5 * time.Millisecond
+	backoffCap  = 250 * time.Millisecond
+)
+
+// backoff produces the jittered exponential delay sequence for one
+// dialer→target pair.
+type backoff struct {
+	attempt int
+	r       rng.Rand
+}
+
+// newBackoff seeds the jitter stream from the dialing rank, the mesh
+// nonce, and the target address, so every (dialer, target) pair walks a
+// different schedule while remaining reproducible.
+func newBackoff(dialerRank int, nonce uint64, addr string) backoff {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr)) // hash.Hash.Write never errors
+	return backoff{r: rng.Stream(h.Sum64()^nonce, uint64(dialerRank))}
+}
+
+// next returns the delay before the upcoming retry: base·2^attempt capped
+// at backoffCap, jittered to [d/2, 3d/2).
+func (b *backoff) next() time.Duration {
+	d := backoffBase << uint(b.attempt)
+	if d > backoffCap || d <= 0 {
+		d = backoffCap
+	} else {
+		b.attempt++
+	}
+	return d/2 + time.Duration(b.r.Uint64n(uint64(d)))
+}
+
+// dialRetrier runs the retry loop with injectable dial, sleep, and clock —
+// production uses the real ones; tests substitute fakes to verify the
+// schedule without wall-clock waits.
+type dialRetrier struct {
+	dial  func(addr string) (net.Conn, error)
+	sleep func(d time.Duration)
+	now   func() time.Time
+	bo    backoff
+}
+
+// run dials addr until success or until timeout has elapsed, sleeping the
+// backoff schedule between attempts. The last dial error is returned on
+// timeout.
+func (dr *dialRetrier) run(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := dr.now().Add(timeout)
+	for {
+		conn, err := dr.dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		d := dr.bo.next()
+		if dr.now().Add(d).After(deadline) {
+			return nil, err
+		}
+		dr.sleep(d)
+	}
+}
+
+func dialRetry(dialerRank int, nonce uint64, addr string, timeout time.Duration) (net.Conn, error) {
+	dr := &dialRetrier{
+		dial:  func(a string) (net.Conn, error) { return net.Dial("tcp", a) },
+		sleep: time.Sleep,
+		now:   time.Now,
+		bo:    newBackoff(dialerRank, nonce, addr),
+	}
+	return dr.run(addr, timeout)
+}

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule: delays double from backoffBase to backoffCap and
+// every delay stays inside its jitter window [d/2, 3d/2).
+func TestBackoffSchedule(t *testing.T) {
+	bo := newBackoff(2, 0xdead, "127.0.0.1:9999")
+	want := backoffBase
+	for i := 0; i < 12; i++ {
+		d := bo.next()
+		if d < want/2 || d >= want/2+want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, want/2, want/2+want)
+		}
+		if want < backoffCap {
+			want *= 2
+			if want > backoffCap {
+				want = backoffCap
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic: the same (rank, nonce, addr) triple replays the
+// same schedule; a different dialer rank diverges (no thundering herd).
+func TestBackoffDeterministic(t *testing.T) {
+	a, b := newBackoff(1, 7, "x:1"), newBackoff(1, 7, "x:1")
+	c := newBackoff(2, 7, "x:1")
+	same, diff := true, false
+	for i := 0; i < 8; i++ {
+		da, db, dc := a.next(), b.next(), c.next()
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical seeds produced different schedules")
+	}
+	if !diff {
+		t.Error("different dialer ranks produced identical schedules; jitter is not per-dialer")
+	}
+}
+
+// TestDialRetrySchedule drives the retry loop with a fake clock and
+// sleeper: dials always fail, the recorded sleeps must follow the jittered
+// exponential schedule, and the loop must give up before exceeding the
+// timeout.
+func TestDialRetrySchedule(t *testing.T) {
+	dialErr := errors.New("connection refused")
+	clock := time.Unix(0, 0)
+	var slept []time.Duration
+	dials := 0
+	dr := &dialRetrier{
+		dial:  func(string) (net.Conn, error) { dials++; return nil, dialErr },
+		sleep: func(d time.Duration) { slept = append(slept, d); clock = clock.Add(d) },
+		now:   func() time.Time { return clock },
+		bo:    newBackoff(0, 1, "127.0.0.1:1"),
+	}
+	timeout := 2 * time.Second
+	_, err := dr.run("127.0.0.1:1", timeout)
+	if !errors.Is(err, dialErr) {
+		t.Fatalf("run returned %v, want the last dial error", err)
+	}
+	if dials < 2 {
+		t.Fatalf("only %d dial attempts; retry loop did not retry", dials)
+	}
+	if dials != len(slept)+1 {
+		t.Fatalf("%d dials but %d sleeps; want exactly one sleep between dials", dials, len(slept))
+	}
+	// Replay the schedule independently: the sleeps must match what the
+	// same backoff seed produces, and their sum must stay under timeout.
+	ref := newBackoff(0, 1, "127.0.0.1:1")
+	var total time.Duration
+	for i, d := range slept {
+		if want := ref.next(); d != want {
+			t.Fatalf("sleep %d was %v, want %v", i, d, want)
+		}
+		total += d
+	}
+	if total > timeout {
+		t.Fatalf("slept %v total, exceeding the %v dial timeout", total, timeout)
+	}
+	// The loop must stop because the *next* sleep would overshoot.
+	if clock.Add(ref.next()).Before(time.Unix(0, 0).Add(timeout)) {
+		t.Error("loop gave up while another retry still fit in the timeout")
+	}
+}
+
+// TestDialRetrySucceeds: a dial that starts succeeding ends the loop
+// immediately with the live connection.
+func TestDialRetrySucceeds(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fails := 3
+	clock := time.Unix(0, 0)
+	dr := &dialRetrier{
+		dial: func(a string) (net.Conn, error) {
+			if fails > 0 {
+				fails--
+				return nil, errors.New("not yet")
+			}
+			return net.Dial("tcp", a)
+		},
+		sleep: func(d time.Duration) { clock = clock.Add(d) },
+		now:   func() time.Time { return clock },
+		bo:    newBackoff(0, 0, "x"),
+	}
+	conn, err := dr.run(ln.Addr().String(), time.Minute)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	conn.Close()
+	if fails != 0 {
+		t.Error("loop returned before dial succeeded")
+	}
+}

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+)
+
+// bringUpPair forms a 2-rank mesh where rank 1 uses the caller-owned
+// listener ln and both sides use opts, then round-trips one message.
+func bringUpPair(t *testing.T, ln net.Listener, opts TCPOptions) {
+	t.Helper()
+	addrs := []string{"", ln.Addr().String()}
+	var wg sync.WaitGroup
+	eps := make([]Endpoint, 2)
+	errs := make([]error, 2)
+
+	// Rank 0 listens on an ephemeral port of its own.
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln0.Close()
+	addrs[0] = ln0.Addr().String()
+
+	wg.Add(2)
+	go func() { defer wg.Done(); eps[0], errs[0] = DialTCPGroupOn(ln0, 0, addrs, opts) }()
+	go func() { defer wg.Done(); eps[1], errs[1] = DialTCPGroupOn(ln, 1, addrs, opts) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d bring-up: %v", i, err)
+		}
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+
+	eps[0].Send(1, 9, []byte("ping"))
+	var xwg sync.WaitGroup
+	var got []Message
+	xwg.Add(2)
+	go func() { defer xwg.Done(); _, _ = eps[0].Exchange() }()
+	go func() { defer xwg.Done(); got, _ = eps[1].Exchange() }()
+	xwg.Wait()
+	if len(got) != 1 || string(got[0].Payload) != "ping" {
+		t.Fatalf("rank 1 received %v, want one ping", got)
+	}
+}
+
+// TestDialTCPGroupOnKeepsListener: a caller-owned listener survives one
+// mesh epoch and serves a second one — the failover reuse pattern.
+func TestDialTCPGroupOnKeepsListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	bringUpPair(t, ln, TCPOptions{Nonce: 1})
+	// Same listener, next epoch with a fresh nonce.
+	bringUpPair(t, ln, TCPOptions{Nonce: 2})
+}
+
+// TestNonceRejectsStaleDial: a stale connection presenting the previous
+// epoch's nonce is discarded and the mesh still forms from the live dial.
+func TestNonceRejectsStaleDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A stale "rank 0" from epoch 41 sits in the backlog first.
+	stale, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	if err := binary.Write(stale, binary.LittleEndian, uint32(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(stale, binary.LittleEndian, uint64(41)); err != nil {
+		t.Fatal(err)
+	}
+
+	bringUpPair(t, ln, TCPOptions{Nonce: 42})
+}

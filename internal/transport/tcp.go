@@ -50,6 +50,14 @@ type TCPOptions struct {
 	// MaxFrameBytes caps the per-frame total payload bytes.
 	// Zero selects DefaultMaxFrameBytes.
 	MaxFrameBytes int
+	// Nonce, when nonzero, extends the bring-up handshake from [rank u32]
+	// to [rank u32][nonce u64] and makes the accept side discard any
+	// connection presenting a different nonce instead of failing bring-up.
+	// A coordinator hands every rank a fresh nonce per attempt, so stale
+	// connections from a previous (aborted) mesh — e.g. a dial that was
+	// sitting in the listen backlog when the epoch died — cannot be seated
+	// in the new mesh. Zero keeps the legacy rank-only handshake.
+	Nonce uint64
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -113,8 +121,35 @@ func DialTCPGroup(rank int, addrs []string) (Endpoint, error) {
 }
 
 // DialTCPGroupOpts is DialTCPGroup with explicit deadline and decode
-// limits.
+// limits. It binds a fresh listener on addrs[rank] and closes it once the
+// mesh is up.
 func DialTCPGroupOpts(rank int, addrs []string, opts TCPOptions) (Endpoint, error) {
+	if len(addrs) == 1 {
+		return dialTCPGroup(nil, rank, addrs, opts, false)
+	}
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("transport: rank %d out of %d", rank, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+	return dialTCPGroup(ln, rank, addrs, opts, false)
+}
+
+// DialTCPGroupOn is DialTCPGroupOpts over a caller-owned listener for
+// addrs[rank]. The listener is NOT closed when bring-up finishes or fails,
+// so one bound port can serve successive mesh epochs — a kkrank worker
+// binds once, advertises the bound address to the coordinator, and reuses
+// the listener across failover attempts without the close-then-rebind port
+// race. Any bring-up deadline set on the listener is cleared before
+// returning.
+func DialTCPGroupOn(ln net.Listener, rank int, addrs []string, opts TCPOptions) (Endpoint, error) {
+	return dialTCPGroup(ln, rank, addrs, opts, true)
+}
+
+func dialTCPGroup(ln net.Listener, rank int, addrs []string, opts TCPOptions, keepListener bool) (Endpoint, error) {
 	n := len(addrs)
 	if rank < 0 || rank >= n {
 		return nil, fmt.Errorf("transport: rank %d out of %d", rank, n)
@@ -132,57 +167,64 @@ func DialTCPGroupOpts(rank int, addrs []string, opts TCPOptions) (Endpoint, erro
 		return e, nil
 	}
 
-	ln, err := net.Listen("tcp", addrs[rank])
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
-	}
-	defer ln.Close()
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(time.Now().Add(e.opts.DialTimeout))
+		if keepListener {
+			defer tl.SetDeadline(time.Time{})
+		}
 	}
 
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
 
-	// Accept one connection from every lower rank.
+	// Accept one connection from every lower rank. Connections that fail
+	// the handshake — wrong nonce, bad rank, a peer already seated — are
+	// discarded and accepting continues: under coordinated failover the
+	// backlog may hold stale dials from the aborted epoch ahead of the
+	// live ones.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < rank; i++ {
+		seated := 0
+		for seated < rank {
 			conn, err := ln.Accept()
 			if err != nil {
 				errs <- fmt.Errorf("transport: accept: %w", err)
 				return
 			}
-			conn.SetDeadline(time.Now().Add(e.opts.DialTimeout))
-			var peer uint32
-			if err := binary.Read(conn, binary.LittleEndian, &peer); err != nil {
-				errs <- fmt.Errorf("transport: handshake read: %w", err)
-				return
+			peer, ok := e.acceptHandshake(conn, rank)
+			if !ok || e.hasConn(peer) {
+				conn.Close()
+				continue
 			}
-			if int(peer) >= n || int(peer) >= rank {
-				errs <- fmt.Errorf("transport: bad handshake rank %d", peer)
-				return
-			}
-			conn.SetDeadline(time.Time{})
-			e.setConn(int(peer), conn)
+			e.setConn(peer, conn)
+			seated++
 		}
 	}()
 
-	// Dial every higher rank, retrying while its listener comes up.
+	// Dial every higher rank, retrying with jittered exponential backoff
+	// while its listener comes up.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i := rank + 1; i < n; i++ {
-			conn, err := dialRetry(addrs[i], e.opts.DialTimeout)
+			conn, err := dialRetry(rank, e.opts.Nonce, addrs[i], e.opts.DialTimeout)
 			if err != nil {
 				errs <- fmt.Errorf("transport: dial %s: %w", addrs[i], err)
 				return
 			}
 			conn.SetDeadline(time.Now().Add(e.opts.DialTimeout))
 			if err := binary.Write(conn, binary.LittleEndian, uint32(rank)); err != nil {
+				conn.Close()
 				errs <- fmt.Errorf("transport: handshake write: %w", err)
 				return
+			}
+			if e.opts.Nonce != 0 {
+				if err := binary.Write(conn, binary.LittleEndian, e.opts.Nonce); err != nil {
+					conn.Close()
+					errs <- fmt.Errorf("transport: handshake nonce write: %w", err)
+					return
+				}
 			}
 			conn.SetDeadline(time.Time{})
 			e.setConn(i, conn)
@@ -199,18 +241,35 @@ func DialTCPGroupOpts(rank int, addrs []string, opts TCPOptions) (Endpoint, erro
 	return e, nil
 }
 
-func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		conn, err := net.Dial("tcp", addr)
-		if err == nil {
-			return conn, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, err
-		}
-		time.Sleep(10 * time.Millisecond)
+// acceptHandshake validates one inbound bring-up handshake: a rank below
+// ours, and — when a nonce is configured — our exact nonce. It returns the
+// peer rank and whether the connection should be seated.
+func (e *tcpEndpoint) acceptHandshake(conn net.Conn, rank int) (int, bool) {
+	conn.SetDeadline(time.Now().Add(e.opts.DialTimeout))
+	var peer uint32
+	if err := binary.Read(conn, binary.LittleEndian, &peer); err != nil {
+		return 0, false
 	}
+	if int(peer) >= e.size || int(peer) >= rank {
+		return 0, false
+	}
+	if e.opts.Nonce != 0 {
+		var nonce uint64
+		if err := binary.Read(conn, binary.LittleEndian, &nonce); err != nil {
+			return 0, false
+		}
+		if nonce != e.opts.Nonce {
+			return 0, false
+		}
+	}
+	conn.SetDeadline(time.Time{})
+	return int(peer), true
+}
+
+func (e *tcpEndpoint) hasConn(peer int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.conns[peer] != nil
 }
 
 func (e *tcpEndpoint) setConn(peer int, conn net.Conn) {
